@@ -1,0 +1,42 @@
+"""Figure 12: quad-tile General overlay floorplan.
+
+Paper: four General tiles fill the XCVU9P (three stacked dies), the DRAM
+controller's fixed location pulls DMA paths toward the bottom die, and the
+resulting clock is 92.87 MHz with the critical path in L2 MSHR logic.
+"""
+
+from repro.adg import general_overlay
+from repro.rtl import NUM_SLRS, estimated_frequency, floorplan
+
+
+def test_fig12_floorplan(once):
+    plan = once(lambda: floorplan(general_overlay()))
+    print()
+    print(plan.ascii_art())
+    freq = estimated_frequency(plan)
+    print(f"estimated clock: {freq:.1f} MHz (paper: 92.87 MHz)")
+    assert len(plan.placements) == 4
+    # Tiles spread over all three dies (the device is nearly full).
+    assert len({p.slr for p in plan.placements}) == NUM_SLRS
+    # Die crossings exist (the motivation for conservative pipelining).
+    assert plan.die_crossings >= 2
+    # Clock lands in the paper's neighborhood.
+    assert 75.0 < freq < 110.0
+    # Bottom die (nearest DRAM) is the fullest or tied.
+    assert plan.slr_utilization[0] >= plan.slr_utilization[NUM_SLRS - 1] - 0.05
+
+
+def test_fig12_suite_overlay_floorplans(once):
+    from repro.harness import suite_overlay
+
+    plans = once(
+        lambda: [floorplan(suite_overlay(s).sysadg) for s in
+                 ("dsp", "machsuite", "vision")]
+    )
+    print()
+    for plan in plans:
+        print(plan.ascii_art())
+        print()
+    for plan in plans:
+        # Suite overlays fit more (smaller) tiles than General's 4.
+        assert len(plan.placements) > 4

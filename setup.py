@@ -1,0 +1,9 @@
+"""Setup shim for environments without the ``wheel`` package.
+
+``pip install -e .`` uses PEP 660 editable wheels when possible; this shim
+lets legacy ``setup.py develop`` installs work in offline environments.
+"""
+
+from setuptools import setup
+
+setup()

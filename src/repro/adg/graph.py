@@ -1,0 +1,268 @@
+"""The ADG container: nodes, directed links, mutation, and validation.
+
+Structure follows Fig. 4(b) of the paper: the *fabric side* (input ports ->
+switches/PEs -> output ports) is circuit-switched and routable, while the
+*memory side* is point-to-point — each stream engine owns direct links to a
+subset of ports.  Which engine reaches which ports is precisely the spatial
+memory design space the DSE explores.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Set, Tuple
+
+from .nodes import (
+    AdgNode,
+    DmaEngine,
+    ENGINE_KINDS,
+    FABRIC_KINDS,
+    GenerateEngine,
+    InputPortHW,
+    NodeKind,
+    OutputPortHW,
+    ProcessingElement,
+    RecurrenceEngine,
+    RegisterEngine,
+    SpadEngine,
+    Switch,
+)
+
+
+class AdgError(ValueError):
+    """Raised when an ADG violates a structural invariant."""
+
+
+#: Legal (source-kind, destination-kind) pairs for ADG links.
+_LEGAL_LINKS: Set[Tuple[NodeKind, NodeKind]] = set()
+for _engine in ENGINE_KINDS:
+    _LEGAL_LINKS.add((_engine, NodeKind.IN_PORT))
+    _LEGAL_LINKS.add((NodeKind.OUT_PORT, _engine))
+for _src in (NodeKind.IN_PORT, NodeKind.PE, NodeKind.SWITCH):
+    for _dst in (NodeKind.PE, NodeKind.SWITCH, NodeKind.OUT_PORT):
+        _LEGAL_LINKS.add((_src, _dst))
+_LEGAL_LINKS.discard((NodeKind.IN_PORT, NodeKind.OUT_PORT))
+# Pass-through without any fabric hop is still representable via a switch.
+
+
+class ADG:
+    """One tile's architecture description graph (mutable, clonable)."""
+
+    def __init__(self) -> None:
+        self._nodes: Dict[int, AdgNode] = {}
+        self._out: Dict[int, Set[int]] = {}
+        self._in: Dict[int, Set[int]] = {}
+        self._next_id = 0
+        #: monotonically increasing edit stamp; schedules cache against it.
+        self.version = 0
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def add_node(
+        self,
+        factory: Callable[[int], AdgNode],
+        node_id: Optional[int] = None,
+    ) -> int:
+        """Add a node; ``node_id`` pins an explicit id (deserialization —
+        keeping ids stable lets schedules survive a save/load round trip)."""
+        if node_id is None:
+            node_id = self._next_id
+        elif node_id in self._nodes:
+            raise AdgError(f"node id {node_id} already in use")
+        self._next_id = max(self._next_id, node_id) + 1
+        self._nodes[node_id] = factory(node_id)
+        self._out[node_id] = set()
+        self._in[node_id] = set()
+        self.version += 1
+        return node_id
+
+    def add_pe(self, **kwargs) -> int:
+        return self.add_node(lambda i: ProcessingElement(i, **kwargs))
+
+    def add_switch(self, **kwargs) -> int:
+        return self.add_node(lambda i: Switch(i, **kwargs))
+
+    def add_in_port(self, **kwargs) -> int:
+        return self.add_node(lambda i: InputPortHW(i, **kwargs))
+
+    def add_out_port(self, **kwargs) -> int:
+        return self.add_node(lambda i: OutputPortHW(i, **kwargs))
+
+    def add_dma(self, **kwargs) -> int:
+        return self.add_node(lambda i: DmaEngine(i, **kwargs))
+
+    def add_spad(self, **kwargs) -> int:
+        return self.add_node(lambda i: SpadEngine(i, **kwargs))
+
+    def add_generate(self, **kwargs) -> int:
+        return self.add_node(lambda i: GenerateEngine(i, **kwargs))
+
+    def add_recurrence(self, **kwargs) -> int:
+        return self.add_node(lambda i: RecurrenceEngine(i, **kwargs))
+
+    def add_register(self, **kwargs) -> int:
+        return self.add_node(lambda i: RegisterEngine(i, **kwargs))
+
+    def add_link(self, src: int, dst: int) -> None:
+        """Add a directed hardware link; validates endpoint kinds."""
+        if src not in self._nodes or dst not in self._nodes:
+            raise AdgError(f"link {src}->{dst} references unknown node")
+        pair = (self._nodes[src].kind, self._nodes[dst].kind)
+        if pair not in _LEGAL_LINKS:
+            raise AdgError(
+                f"illegal link {self._nodes[src].name} -> {self._nodes[dst].name}"
+            )
+        self._out[src].add(dst)
+        self._in[dst].add(src)
+        self.version += 1
+
+    def remove_link(self, src: int, dst: int) -> None:
+        self._out.get(src, set()).discard(dst)
+        self._in.get(dst, set()).discard(src)
+        self.version += 1
+
+    def remove_node(self, node_id: int) -> None:
+        """Remove a node and every link touching it."""
+        if node_id not in self._nodes:
+            raise AdgError(f"cannot remove unknown node {node_id}")
+        for dst in list(self._out[node_id]):
+            self._in[dst].discard(node_id)
+        for src in list(self._in[node_id]):
+            self._out[src].discard(node_id)
+        del self._out[node_id]
+        del self._in[node_id]
+        del self._nodes[node_id]
+        self.version += 1
+
+    def replace_node(self, node_id: int, **changes) -> None:
+        """Replace a node's parameters in place (links unchanged)."""
+        if node_id not in self._nodes:
+            raise AdgError(f"cannot replace unknown node {node_id}")
+        self._nodes[node_id] = replace(self._nodes[node_id], **changes)
+        self.version += 1
+
+    def clone(self) -> "ADG":
+        other = ADG()
+        other._nodes = dict(self._nodes)
+        other._out = {k: set(v) for k, v in self._out.items()}
+        other._in = {k: set(v) for k, v in self._in.items()}
+        other._next_id = self._next_id
+        other.version = self.version
+        return other
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def node(self, node_id: int) -> AdgNode:
+        return self._nodes[node_id]
+
+    def has_node(self, node_id: int) -> bool:
+        return node_id in self._nodes
+
+    def has_link(self, src: int, dst: int) -> bool:
+        return dst in self._out.get(src, ())
+
+    def nodes(self) -> Iterator[AdgNode]:
+        return iter(self._nodes.values())
+
+    def node_ids(self) -> List[int]:
+        return sorted(self._nodes)
+
+    def successors(self, node_id: int) -> Set[int]:
+        return self._out.get(node_id, set())
+
+    def predecessors(self, node_id: int) -> Set[int]:
+        return self._in.get(node_id, set())
+
+    def links(self) -> List[Tuple[int, int]]:
+        return sorted(
+            (src, dst) for src, dsts in self._out.items() for dst in dsts
+        )
+
+    def of_kind(self, kind: NodeKind) -> List[AdgNode]:
+        return sorted(
+            (n for n in self._nodes.values() if n.kind is kind),
+            key=lambda n: n.node_id,
+        )
+
+    @property
+    def pes(self) -> List[ProcessingElement]:
+        return self.of_kind(NodeKind.PE)
+
+    @property
+    def switches(self) -> List[Switch]:
+        return self.of_kind(NodeKind.SWITCH)
+
+    @property
+    def in_ports(self) -> List[InputPortHW]:
+        return self.of_kind(NodeKind.IN_PORT)
+
+    @property
+    def out_ports(self) -> List[OutputPortHW]:
+        return self.of_kind(NodeKind.OUT_PORT)
+
+    @property
+    def spads(self) -> List[SpadEngine]:
+        return self.of_kind(NodeKind.SPAD)
+
+    @property
+    def dmas(self) -> List[DmaEngine]:
+        return self.of_kind(NodeKind.DMA)
+
+    @property
+    def engines(self) -> List[AdgNode]:
+        return sorted(
+            (n for n in self._nodes.values() if n.kind in ENGINE_KINDS),
+            key=lambda n: n.node_id,
+        )
+
+    def fabric_ids(self) -> List[int]:
+        """Node ids routable on the fabric side (ports, PEs, switches)."""
+        routable = FABRIC_KINDS | {NodeKind.IN_PORT, NodeKind.OUT_PORT}
+        return sorted(
+            i for i, n in self._nodes.items() if n.kind in routable
+        )
+
+    def radix(self, node_id: int) -> int:
+        """Total degree of a node (drives switch resource cost)."""
+        return len(self._out.get(node_id, ())) + len(self._in.get(node_id, ()))
+
+    def avg_switch_radix(self) -> float:
+        switches = self.switches
+        if not switches:
+            return 0.0
+        return sum(self.radix(s.node_id) for s in switches) / len(switches)
+
+    # ------------------------------------------------------------------
+    # Validation
+    # ------------------------------------------------------------------
+    def validate(self) -> None:
+        """Check structural invariants; raises :class:`AdgError`."""
+        for src, dsts in self._out.items():
+            for dst in dsts:
+                pair = (self._nodes[src].kind, self._nodes[dst].kind)
+                if pair not in _LEGAL_LINKS:
+                    raise AdgError(
+                        f"illegal link {self._nodes[src].name} -> "
+                        f"{self._nodes[dst].name}"
+                    )
+        for port in self.in_ports:
+            feeders = {
+                self._nodes[p].kind for p in self._in[port.node_id]
+            }
+            if feeders and not feeders & ENGINE_KINDS:
+                raise AdgError(f"{port.name} has no stream-engine feeder")
+        for node in self._nodes.values():
+            if isinstance(node, SpadEngine) and node.capacity_bytes <= 0:
+                raise AdgError(f"{node.name} has non-positive capacity")
+            if isinstance(node, ProcessingElement) and node.width_bits <= 0:
+                raise AdgError(f"{node.name} has non-positive width")
+
+    def summary(self) -> str:
+        return (
+            f"ADG(pe={len(self.pes)}, sw={len(self.switches)}, "
+            f"ip={len(self.in_ports)}, op={len(self.out_ports)}, "
+            f"spad={len(self.spads)}, dma={len(self.dmas)}, "
+            f"links={len(self.links())})"
+        )

@@ -1,0 +1,225 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands mirror the library's main flows:
+
+* ``workloads``            — list the Table-II workloads
+* ``generate``             — run the DSE for a suite/workload set, save the design
+* ``inspect <design>``     — render a saved design (ASCII + resources)
+* ``map <design> <name>``  — compile+schedule a workload onto a saved design
+* ``simulate <design> <name>`` — cycle-level simulation of a mapped workload
+* ``rtl <design>``         — emit structural Verilog
+* ``floorplan <design>``   — SLR floorplan + clock estimate
+* ``advise <design> <name>`` — explain fit + whether re-DSE would pay (Q5)
+* ``report``               — regenerate EXPERIMENTS.md
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .adg import load_sysadg, render_sysadg, save_sysadg
+from .compiler import generate_variants
+from .dse import DseConfig, explore
+from .model.resource import XCVU9P, system_resources
+from .rtl import emit_system, estimated_frequency, floorplan
+from .scheduler import schedule_workload
+from .sim import simulate_schedule
+from .workloads import SUITE_NAMES, all_workloads, get_suite, get_workload
+
+
+def _cmd_workloads(args: argparse.Namespace) -> int:
+    for w in all_workloads():
+        marks = []
+        if w.has_variable_trip:
+            marks.append("variable-trip")
+        from .ir import IndirectIndex
+
+        if any(isinstance(i, IndirectIndex) for _, i, _ in w.all_accesses()):
+            marks.append("indirect")
+        print(
+            f"{w.name:12s} {w.suite:10s} {w.size_desc:10s} {w.dtype.name:6s} "
+            f"{' '.join(marks)}"
+        )
+    return 0
+
+
+def _resolve_workloads(spec: str):
+    if spec in SUITE_NAMES:
+        return get_suite(spec)
+    if spec == "all":
+        return all_workloads()
+    return [get_workload(name) for name in spec.split(",")]
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    workloads = _resolve_workloads(args.workloads)
+    print(
+        f"running DSE for {len(workloads)} workload(s): "
+        f"{', '.join(w.name for w in workloads)}"
+    )
+    result = explore(
+        workloads,
+        DseConfig(iterations=args.iterations, seed=args.seed),
+        name=args.name or args.workloads,
+    )
+    print(result.sysadg.summary())
+    util = system_resources(result.sysadg).utilization(XCVU9P)
+    print("utilization: " + "  ".join(f"{k}={v:.0%}" for k, v in util.items()))
+    print(f"modeled DSE time: {result.modeled_hours:.1f} h")
+    save_sysadg(result.sysadg, args.output)
+    print(f"saved design to {args.output}")
+    return 0
+
+
+def _cmd_inspect(args: argparse.Namespace) -> int:
+    sysadg = load_sysadg(args.design)
+    print(render_sysadg(sysadg))
+    util = system_resources(sysadg).utilization(XCVU9P)
+    print("utilization: " + "  ".join(f"{k}={v:.0%}" for k, v in util.items()))
+    return 0
+
+
+def _map_workload(design_path: str, name: str):
+    sysadg = load_sysadg(design_path)
+    variants = generate_variants(get_workload(name))
+    schedule = schedule_workload(variants, sysadg.adg, sysadg.params)
+    return sysadg, schedule
+
+
+def _cmd_map(args: argparse.Namespace) -> int:
+    sysadg, schedule = _map_workload(args.design, args.workload)
+    if schedule is None:
+        print(f"{args.workload} does NOT map onto {sysadg.name}")
+        return 1
+    print(schedule.summary())
+    est = schedule.estimate
+    print(f"projected IPC {est.ipc:.1f}, bottleneck {est.bottleneck}")
+    print(f"configuration: {schedule.mdfg.config_words} words")
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    sysadg, schedule = _map_workload(args.design, args.workload)
+    if schedule is None:
+        print(f"{args.workload} does NOT map onto {sysadg.name}")
+        return 1
+    result = simulate_schedule(schedule, sysadg)
+    seconds = result.seconds(sysadg.params.frequency_mhz)
+    print(
+        f"{args.workload} on {sysadg.name}: {result.cycles:,.0f} cycles "
+        f"({seconds * 1e6:,.1f} us), IPC {result.ipc:.1f}, "
+        f"{result.tiles_used} tiles used"
+    )
+    return 0
+
+
+def _cmd_rtl(args: argparse.Namespace) -> int:
+    sysadg = load_sysadg(args.design)
+    rtl = emit_system(sysadg)
+    if args.output:
+        with open(args.output, "w") as f:
+            f.write(rtl)
+        print(f"wrote {args.output} ({rtl.count(chr(10))} lines)")
+    else:
+        sys.stdout.write(rtl)
+    return 0
+
+
+def _cmd_floorplan(args: argparse.Namespace) -> int:
+    sysadg = load_sysadg(args.design)
+    plan = floorplan(sysadg)
+    print(plan.ascii_art())
+    print(f"estimated clock: {estimated_frequency(plan):.1f} MHz")
+    return 0
+
+
+def _cmd_advise(args: argparse.Namespace) -> int:
+    from .compiler import advise
+
+    sysadg = load_sysadg(args.design)
+    advice = advise(
+        get_workload(args.workload), sysadg.adg, sysadg.params
+    )
+    print(advice.summary())
+    return 0 if advice.best_mapped is not None else 1
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from .harness.report import generate_report
+
+    report = generate_report()
+    with open(args.output, "w") as f:
+        f.write(report)
+    print(f"wrote {args.output}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="OverGen reproduction: domain-specific overlay generation",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("workloads", help="list the Table-II workloads").set_defaults(
+        func=_cmd_workloads
+    )
+
+    gen = sub.add_parser("generate", help="run the overlay DSE and save it")
+    gen.add_argument(
+        "workloads",
+        help="suite name (dsp/machsuite/vision), 'all', or comma-separated names",
+    )
+    gen.add_argument("-o", "--output", default="overlay.json")
+    gen.add_argument("-n", "--iterations", type=int, default=150)
+    gen.add_argument("-s", "--seed", type=int, default=2)
+    gen.add_argument("--name", default=None)
+    gen.set_defaults(func=_cmd_generate)
+
+    ins = sub.add_parser("inspect", help="render a saved design")
+    ins.add_argument("design")
+    ins.set_defaults(func=_cmd_inspect)
+
+    mp = sub.add_parser("map", help="schedule a workload onto a saved design")
+    mp.add_argument("design")
+    mp.add_argument("workload")
+    mp.set_defaults(func=_cmd_map)
+
+    sim = sub.add_parser("simulate", help="simulate a workload on a design")
+    sim.add_argument("design")
+    sim.add_argument("workload")
+    sim.set_defaults(func=_cmd_simulate)
+
+    rtl = sub.add_parser("rtl", help="emit structural Verilog")
+    rtl.add_argument("design")
+    rtl.add_argument("-o", "--output", default=None)
+    rtl.set_defaults(func=_cmd_rtl)
+
+    fp = sub.add_parser("floorplan", help="SLR floorplan + clock estimate")
+    fp.add_argument("design")
+    fp.set_defaults(func=_cmd_floorplan)
+
+    adv = sub.add_parser(
+        "advise", help="explain how well a workload fits a saved design"
+    )
+    adv.add_argument("design")
+    adv.add_argument("workload")
+    adv.set_defaults(func=_cmd_advise)
+
+    rep = sub.add_parser("report", help="regenerate EXPERIMENTS.md")
+    rep.add_argument("-o", "--output", default="EXPERIMENTS.md")
+    rep.set_defaults(func=_cmd_report)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

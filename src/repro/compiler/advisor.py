@@ -1,0 +1,142 @@
+"""Mapping advisor: explain how well a workload fits an existing overlay.
+
+Section VIII-Q5 suggests "the compiler could inform the user when a
+significant performance improvement is expected, to signal when to perform
+DSE again."  This module implements that feedback: it schedules every
+variant of a workload onto a given overlay, explains which variants failed
+and why, and quantifies the gap between what the overlay delivers and what
+the workload's best variant could deliver on sufficient hardware.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..adg import ADG, SystemParams
+from ..dfg import MDFG
+from ..ir import Workload
+from ..scheduler import Schedule, ScheduleError, schedule_mdfg
+from ..scheduler.binder import bind_memory
+from ..scheduler.placer import place_and_route
+from ..scheduler.router import RoutingState
+from ..scheduler.schedule import Schedule as _Schedule
+from .variants import VariantSet, generate_variants
+
+#: Recommend re-running the DSE when the best *unmappable* variant promises
+#: at least this much more instruction bandwidth than the best mapped one.
+REDSE_GAIN_THRESHOLD = 1.5
+
+
+@dataclass
+class VariantVerdict:
+    """Outcome of trying one variant on the overlay."""
+
+    variant: str
+    mapped: bool
+    projected_ipc: float = 0.0
+    failure_reason: Optional[str] = None
+    insts_per_cycle: float = 0.0
+
+
+@dataclass
+class MappingAdvice:
+    """The advisor's full report for one (workload, overlay) pair."""
+
+    workload: str
+    verdicts: List[VariantVerdict]
+    best_mapped: Optional[VariantVerdict]
+    potential_gain: float          # best unmapped insts / best mapped insts
+    recommend_redse: bool
+
+    def summary(self) -> str:
+        lines = [f"mapping advice for {self.workload}:"]
+        for v in self.verdicts:
+            if v.mapped:
+                lines.append(
+                    f"  {v.variant:10s} OK   projected IPC {v.projected_ipc:.1f}"
+                )
+            else:
+                lines.append(
+                    f"  {v.variant:10s} FAIL {v.failure_reason}"
+                )
+        if self.best_mapped is None:
+            lines.append(
+                "  -> workload does NOT map; rerun the DSE including it"
+            )
+        elif self.recommend_redse:
+            lines.append(
+                f"  -> a {self.potential_gain:.1f}x faster variant exists but "
+                f"does not fit this overlay; re-running DSE is worthwhile"
+            )
+        else:
+            lines.append("  -> overlay serves this workload well")
+        return "\n".join(lines)
+
+
+def _try_variant(mdfg: MDFG, adg: ADG, params: SystemParams) -> VariantVerdict:
+    """Schedule one variant, capturing the precise failure reason.
+
+    Unmappable variants still get a projected IPC via an idealized binding
+    (what they *would* deliver on an overlay generous enough to host them);
+    the gap between that and the best mapped variant is the re-DSE signal.
+    """
+    from ..model.perf import estimate_ipc, preferred_binding
+
+    schedule = _Schedule(mdfg=mdfg, adg_version=adg.version)
+    try:
+        bind_memory(mdfg, adg, schedule)
+        place_and_route(mdfg, adg, schedule, RoutingState(adg))
+    except ScheduleError as exc:
+        ideal = estimate_ipc(mdfg, preferred_binding(mdfg, adg), adg, params)
+        return VariantVerdict(
+            variant=mdfg.variant,
+            mapped=False,
+            projected_ipc=ideal.ipc,
+            failure_reason=str(exc),
+            insts_per_cycle=mdfg.insts_per_cycle,
+        )
+    est = estimate_ipc(mdfg, schedule.binding(), adg, params)
+    return VariantVerdict(
+        variant=mdfg.variant,
+        mapped=True,
+        projected_ipc=est.ipc,
+        insts_per_cycle=mdfg.insts_per_cycle,
+    )
+
+
+def advise(
+    workload: Workload,
+    adg: ADG,
+    params: SystemParams,
+    variants: Optional[VariantSet] = None,
+) -> MappingAdvice:
+    """Try every variant of ``workload`` on the overlay and report.
+
+    The potential gain compares the instruction bandwidth of the most
+    aggressive *unmappable* variant against the best variant that mapped —
+    the headroom a re-specialized overlay could unlock.
+    """
+    variants = variants or generate_variants(workload)
+    verdicts = [
+        _try_variant(mdfg, adg, params) for mdfg in variants.variants
+    ]
+    mapped = [v for v in verdicts if v.mapped]
+    best_mapped = max(mapped, key=lambda v: v.projected_ipc, default=None)
+    unmapped = [v for v in verdicts if not v.mapped]
+    if best_mapped is None:
+        gain = float("inf") if unmapped else 0.0
+    elif unmapped:
+        best_unmapped_ipc = max(v.projected_ipc for v in unmapped)
+        gain = max(1.0, best_unmapped_ipc / max(1e-9, best_mapped.projected_ipc))
+    else:
+        gain = 1.0
+    return MappingAdvice(
+        workload=workload.name,
+        verdicts=verdicts,
+        best_mapped=best_mapped,
+        potential_gain=gain,
+        recommend_redse=(
+            best_mapped is None or gain >= REDSE_GAIN_THRESHOLD
+        ),
+    )

@@ -1,0 +1,95 @@
+"""Pre-generation of transformation variants (Section V-A).
+
+During DSE, recompiling each workload for every candidate hardware would
+dominate exploration time.  Instead the compiler pre-generates a *family* of
+mDFGs per region — different unroll degrees, recurrence-engine versus
+memory read-modify-write forms — and the DSE schedules whichever member maps
+best onto the current ADG.  Only one member needs to schedule for the
+hardware to be considered valid for that workload.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ..dfg import MDFG, StreamKind
+from ..ir import Workload
+from .lowering import LoweringError, lower, max_unroll
+
+
+@dataclass
+class VariantSet:
+    """All pre-compiled mDFG variants of one workload region.
+
+    Variants are ordered most-aggressive first (highest instruction
+    bandwidth); the "relax DFG complexity" fallback of Fig. 3 is simply a
+    walk down this list.
+    """
+
+    workload: Workload
+    variants: List[MDFG] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self.variants.sort(key=lambda m: (-m.insts_per_cycle, m.variant))
+
+    @property
+    def best(self) -> MDFG:
+        return self.variants[0]
+
+    def relaxations_of(self, mdfg: MDFG) -> List[MDFG]:
+        """Variants strictly less aggressive than ``mdfg``, best first."""
+        idx = self.variants.index(mdfg)
+        return self.variants[idx + 1 :]
+
+    def by_name(self, variant: str) -> MDFG:
+        for m in self.variants:
+            if m.variant == variant:
+                return m
+        raise KeyError(f"no variant {variant!r} for {self.workload.name}")
+
+
+def unroll_candidates(workload: Workload) -> List[int]:
+    """Powers of two up to the datapath/trip-count limit."""
+    limit = max_unroll(workload)
+    factors = []
+    u = 1
+    while u <= limit:
+        factors.append(u)
+        u *= 2
+    return factors
+
+
+def generate_variants(workload: Workload) -> VariantSet:
+    """Pre-compile every useful (unroll, recurrence) combination."""
+    variants: List[MDFG] = []
+    for unroll in unroll_candidates(workload):
+        for use_rec in (True, False):
+            try:
+                mdfg = lower(workload, unroll=unroll, use_recurrence=use_rec)
+            except LoweringError:
+                continue
+            # Skip the rmw form when it is identical to the recurrence form
+            # (i.e. the workload has no outer recurrence to begin with).
+            if not use_rec and any(
+                _same_structure(mdfg, other) for other in variants
+            ):
+                continue
+            variants.append(mdfg)
+    if not variants:
+        raise LoweringError(f"{workload.name}: no lowerable variants")
+    return VariantSet(workload=workload, variants=variants)
+
+
+def _same_structure(a: MDFG, b: MDFG) -> bool:
+    """Cheap structural equivalence: same unroll and stream signature."""
+    if a.unroll != b.unroll:
+        return False
+    sig_a = sorted((s.kind.value, s.array or "", s.lanes) for s in a.streams)
+    sig_b = sorted((s.kind.value, s.array or "", s.lanes) for s in b.streams)
+    return sig_a == sig_b
+
+
+def uses_recurrence_engine(mdfg: MDFG) -> bool:
+    """Whether any stream of ``mdfg`` needs the recurrence engine."""
+    return any(s.kind is StreamKind.RECURRENCE for s in mdfg.streams)

@@ -1,0 +1,32 @@
+"""Unified spatial + system design-space exploration (Section V)."""
+
+from .explorer import DseConfig, DseResult, DseStats, Explorer, TimeModel, explore
+from .system import SystemChoice, max_tiles_that_fit, system_dse
+from .transforms import (
+    RANDOM_TRANSFORMS,
+    TransformFailed,
+    apply_random_transform,
+    collapse_random_switch,
+    collapse_switch,
+    preserve_edge_delays,
+    prune_capabilities,
+)
+
+__all__ = [
+    "DseConfig",
+    "DseResult",
+    "DseStats",
+    "Explorer",
+    "RANDOM_TRANSFORMS",
+    "SystemChoice",
+    "TimeModel",
+    "TransformFailed",
+    "apply_random_transform",
+    "collapse_random_switch",
+    "collapse_switch",
+    "explore",
+    "max_tiles_that_fit",
+    "preserve_edge_delays",
+    "prune_capabilities",
+    "system_dse",
+]

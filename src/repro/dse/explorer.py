@@ -1,0 +1,580 @@
+"""The unified spatial + system design-space explorer (Section V).
+
+One DSE iteration (Fig. 6):
+
+1. propose ``ADG*`` by cloning the accepted ADG and applying either a
+   random transform or a schedule-preserving transform;
+2. re-validate/repair every workload's schedule against ``ADG*`` (cheap:
+   most hardware is untouched); abandon the candidate if any workload loses
+   all schedulable variants;
+3. run the nested exhaustive system DSE for ``ADG*``;
+4. accept/reject by simulated annealing on the performance objective, with
+   resources-per-accelerator as the tie-breaking secondary objective.
+
+Wall-clock accounting: real OverGen DSE runs for hours because scheduling
+and compilation dominate; we run the same algorithm in seconds.  To report
+Fig. 15/20-style time axes, every operation also charges a *modeled* cost
+(seconds a real toolchain would spend), calibrated to the paper's reported
+DSE times.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..adg import ADG, NodeKind, SysADG, SystemParams, seed_for_workloads
+from ..compiler import VariantSet, generate_variants
+from ..ir import Workload
+from ..model.resource import AnalyticEstimator, Resources, usable_budget
+from ..scheduler import Schedule, repair_schedule, schedule_mdfg, schedule_workload
+from .system import SystemChoice, system_dse
+from .transforms import (
+    TransformFailed,
+    apply_random_transform,
+    collapse_random_switch,
+    prune_capabilities,
+)
+
+
+@dataclass
+class TimeModel:
+    """Modeled toolchain costs in seconds (for Fig. 15/20 time axes)."""
+
+    full_compile: float = 420.0      # pre-generating one workload's variants
+    full_schedule: float = 75.0      # scheduling one variant from scratch
+    repair: float = 6.0              # schedule repair / revalidation
+    model_eval: float = 0.9          # one system-DSE sweep point
+    synthesis_hours: float = 3.4     # final Vivado synthesis + P&R
+
+
+@dataclass
+class DseConfig:
+    iterations: int = 150
+    seed: int = 0
+    initial_temperature: float = 0.12
+    final_temperature: float = 0.01
+    schedule_preserving: bool = True
+    preserving_prob: float = 0.35
+    upgrade_every: int = 12          # periodic full variant re-scheduling
+    max_tiles: int = 16
+    seed_width_bits: int = 512
+    #: FPGA budget fraction withheld from the tile-count decision and spent
+    #: on generality padding instead (caps, links, spare PEs for future
+    #: workloads — the paper's Q4/Q5 behavior).
+    generality_reserve: float = 0.10
+    time_model: TimeModel = field(default_factory=TimeModel)
+
+
+@dataclass
+class DseStats:
+    iterations: int = 0
+    accepted: int = 0
+    rejected_unschedulable: int = 0
+    rejected_annealing: int = 0
+    preserved_hits: int = 0          # schedules that survived untouched
+    repairs: int = 0
+    full_schedules: int = 0
+    preserving_transforms: int = 0
+    random_transforms: int = 0
+
+
+@dataclass
+class DseResult:
+    """Outcome of one exploration run."""
+
+    sysadg: SysADG
+    schedules: Dict[str, Schedule]
+    choice: SystemChoice
+    history: List[Tuple[int, float, float]]  # (iteration, modeled_h, objective)
+    stats: DseStats
+    variant_sets: Dict[str, VariantSet]
+    modeled_seconds: float
+
+    @property
+    def modeled_hours(self) -> float:
+        return self.modeled_seconds / 3600.0
+
+    def estimate_for(self, workload: str):
+        return self.choice.estimates[workload]
+
+
+class Explorer:
+    """Simulated-annealing explorer over (tile ADG x system parameters)."""
+
+    def __init__(
+        self,
+        workloads: Sequence[Workload],
+        config: Optional[DseConfig] = None,
+        name: str = "overlay",
+    ):
+        if not workloads:
+            raise ValueError("need at least one workload")
+        self.workloads = list(workloads)
+        self.config = config or DseConfig()
+        self.name = name
+        self.rng = random.Random(self.config.seed)
+        self.estimator = AnalyticEstimator()
+        self.full_budget = usable_budget()
+        # The DSE sizes tile counts against a reduced budget; padding then
+        # grows the chosen design into the reserve.
+        self.budget = self.full_budget * (1.0 - self.config.generality_reserve)
+        self.stats = DseStats()
+        self.modeled_seconds = 0.0
+        self.history: List[Tuple[int, float, float]] = []
+
+    # ------------------------------------------------------------------
+    def run(self) -> DseResult:
+        cfg = self.config
+        variant_sets = {
+            w.name: generate_variants(w) for w in self.workloads
+        }
+        self.modeled_seconds += cfg.time_model.full_compile * len(self.workloads)
+
+        adg = self._initial_adg()
+        schedules = self._schedule_all(variant_sets, adg)
+        if schedules is None:
+            raise RuntimeError("seed ADG cannot schedule all workloads")
+        choice = self._system_dse(adg, schedules)
+        if choice is None:
+            raise RuntimeError("seed ADG does not fit the FPGA")
+        best = (adg, schedules, choice)
+        self.history.append((0, self.modeled_seconds / 3600.0, choice.objective))
+
+        for iteration in range(1, cfg.iterations + 1):
+            self.stats.iterations = iteration
+            candidate = self._propose(best[0], best[1])
+            if candidate is None:
+                continue
+            cand_adg, cand_schedules = candidate
+            if iteration % cfg.upgrade_every == 0:
+                cand_schedules = self._upgrade_variants(
+                    variant_sets, cand_adg, cand_schedules
+                )
+            cand_choice = self._system_dse(cand_adg, cand_schedules)
+            if cand_choice is None:
+                self.stats.rejected_unschedulable += 1
+                continue
+            if self._accept(cand_choice, best[2], iteration):
+                best = (cand_adg, cand_schedules, cand_choice)
+                self.stats.accepted += 1
+                self.history.append(
+                    (iteration, self.modeled_seconds / 3600.0, cand_choice.objective)
+                )
+            else:
+                self.stats.rejected_annealing += 1
+
+        # Final polish: full variant re-scheduling on the winning ADG.
+        adg, schedules, choice = best
+        schedules = self._upgrade_variants(variant_sets, adg, schedules)
+        choice = self._system_dse(adg, schedules) or choice
+        # Generality padding: the DSE "greedily consumes as many resources
+        # as possible, even if there is no parallelism" (Q4) so future
+        # workloads in the domain have headroom.  Grow capabilities, widths,
+        # and capacities as long as the chosen tile count still fits.
+        self._pad_for_generality(adg, choice)
+        schedules = self._upgrade_variants(variant_sets, adg, schedules)
+        choice = self._system_dse(adg, schedules) or choice
+        self.modeled_seconds += self.config.time_model.synthesis_hours * 3600.0
+        sysadg = SysADG(adg=adg, params=choice.params, name=self.name)
+        return DseResult(
+            sysadg=sysadg,
+            schedules=schedules,
+            choice=choice,
+            history=self.history,
+            stats=self.stats,
+            variant_sets=variant_sets,
+            modeled_seconds=self.modeled_seconds,
+        )
+
+    # ------------------------------------------------------------------
+    def _initial_adg(self) -> ADG:
+        return seed_for_workloads(
+            self.workloads, width_bits=self.config.seed_width_bits
+        )
+
+    def _schedule_all(
+        self, variant_sets: Dict[str, VariantSet], adg: ADG
+    ) -> Optional[Dict[str, Schedule]]:
+        params = SystemParams()
+        schedules: Dict[str, Schedule] = {}
+        for name, variants in variant_sets.items():
+            schedule = schedule_workload(variants, adg, params)
+            self.stats.full_schedules += len(variants.variants)
+            self.modeled_seconds += self.config.time_model.full_schedule * len(
+                variants.variants
+            )
+            if schedule is None:
+                return None
+            schedules[name] = schedule
+        return schedules
+
+    def _propose(
+        self, adg: ADG, schedules: Dict[str, Schedule]
+    ) -> Optional[Tuple[ADG, Dict[str, Schedule]]]:
+        cfg = self.config
+        candidate = adg.clone()
+        clones = {name: s.clone() for name, s in schedules.items()}
+        use_preserving = (
+            cfg.schedule_preserving and self.rng.random() < cfg.preserving_prob
+        )
+        try:
+            if use_preserving:
+                did = collapse_random_switch(
+                    candidate, list(clones.values()), self.rng
+                )
+                if did is None:
+                    prune_capabilities(candidate, list(clones.values()))
+                self.stats.preserving_transforms += 1
+            else:
+                apply_random_transform(candidate, self.rng)
+                self.stats.random_transforms += 1
+        except TransformFailed:
+            return None
+
+        params = SystemParams()
+        repaired: Dict[str, Schedule] = {}
+        for name, old in clones.items():
+            fast = old.is_valid_for(candidate)
+            new = repair_schedule(old, candidate, params)
+            if new is None:
+                self.stats.rejected_unschedulable += 1
+                return None
+            if fast:
+                self.stats.preserved_hits += 1
+                self.modeled_seconds += cfg.time_model.repair * 0.2
+            else:
+                self.stats.repairs += 1
+                self.modeled_seconds += cfg.time_model.repair
+            repaired[name] = new
+        return candidate, repaired
+
+    def _upgrade_variants(
+        self,
+        variant_sets: Dict[str, VariantSet],
+        adg: ADG,
+        schedules: Dict[str, Schedule],
+    ) -> Dict[str, Schedule]:
+        """Periodically retry better variants (they may now fit)."""
+        params = SystemParams()
+        out = dict(schedules)
+        for name, variants in variant_sets.items():
+            best = schedule_workload(variants, adg, params)
+            self.stats.full_schedules += len(variants.variants)
+            self.modeled_seconds += (
+                self.config.time_model.full_schedule * len(variants.variants) * 0.4
+            )
+            if best is not None:
+                current = out.get(name)
+                if (
+                    current is None
+                    or current.estimate is None
+                    or best.estimate.ipc > current.estimate.ipc
+                ):
+                    out[name] = best
+        return out
+
+    def _pad_for_generality(self, adg: ADG, choice: SystemChoice) -> int:
+        """Grow the tile with spare FPGA budget without losing tiles.
+
+        Only monotone *additions* are applied, so every existing schedule
+        stays valid.  Repair steps (re-attaching ports, restoring PE fan-in,
+        adding missing capabilities) run before pure growth (wider ports,
+        bigger scratchpads, extra PEs), so cross-workload flexibility is
+        restored before bandwidth is gold-plated.  Returns the step count.
+        """
+        from .system import max_tiles_that_fit
+        from .transforms import PE_WIDTHS, PORT_WIDTHS, SPAD_CAPACITIES
+
+        params = choice.params
+        tiles = params.num_tiles
+
+        def still_fits() -> bool:
+            tile = self.estimator.tile(adg)
+            return (
+                max_tiles_that_fit(
+                    tile, params, self.full_budget, cap=self.config.max_tiles
+                )
+                >= tiles
+            )
+
+        def attempt(do, undo) -> bool:
+            do()
+            if still_fits():
+                return True
+            undo()
+            return False
+
+        def step_reattach_ports() -> bool:
+            switches = adg.switches
+            if not switches:
+                return False
+            for port in adg.in_ports:
+                if not any(
+                    adg.node(n).kind is NodeKind.SWITCH
+                    for n in adg.successors(port.node_id)
+                ):
+                    sw = switches[port.node_id % len(switches)].node_id
+                    if attempt(
+                        lambda: adg.add_link(port.node_id, sw),
+                        lambda: adg.remove_link(port.node_id, sw),
+                    ):
+                        return True
+            for port in adg.out_ports:
+                feeders = [
+                    n
+                    for n in adg.predecessors(port.node_id)
+                    if adg.node(n).kind is NodeKind.SWITCH
+                ]
+                if len(feeders) < 2:
+                    candidates = [
+                        sw for sw in switches if sw.node_id not in feeders
+                    ]
+                    if candidates:
+                        sw = candidates[port.node_id % len(candidates)].node_id
+                        if attempt(
+                            lambda: adg.add_link(sw, port.node_id),
+                            lambda: adg.remove_link(sw, port.node_id),
+                        ):
+                            return True
+            return False
+
+        def step_switch_ring() -> bool:
+            ring = sorted(sw.node_id for sw in adg.switches)
+            if len(ring) < 2:
+                return False
+            for a, b in zip(ring, ring[1:] + ring[:1]):
+                if not adg.has_link(a, b):
+                    if attempt(
+                        lambda: adg.add_link(a, b),
+                        lambda: adg.remove_link(a, b),
+                    ):
+                        return True
+            return False
+
+        def step_pe_fan() -> bool:
+            switches = adg.switches
+            if not switches:
+                return False
+            for pe in adg.pes:
+                sw_in = [
+                    p
+                    for p in adg.predecessors(pe.node_id)
+                    if adg.node(p).kind is NodeKind.SWITCH
+                ]
+                sw_out = [
+                    p
+                    for p in adg.successors(pe.node_id)
+                    if adg.node(p).kind is NodeKind.SWITCH
+                ]
+                if len(sw_in) < 3:
+                    candidates = [
+                        sw for sw in switches if sw.node_id not in sw_in
+                    ]
+                    if candidates:
+                        sw = candidates[pe.node_id % len(candidates)].node_id
+                        if attempt(
+                            lambda: adg.add_link(sw, pe.node_id),
+                            lambda: adg.remove_link(sw, pe.node_id),
+                        ):
+                            return True
+                if not sw_out:
+                    sw = switches[pe.node_id % len(switches)].node_id
+                    if attempt(
+                        lambda: adg.add_link(pe.node_id, sw),
+                        lambda: adg.remove_link(pe.node_id, sw),
+                    ):
+                        return True
+            return False
+
+        def step_missing_caps() -> bool:
+            pool = set()
+            for pe in adg.pes:
+                pool |= set(pe.caps)
+            for pe in sorted(adg.pes, key=lambda p: (len(p.caps), p.node_id)):
+                missing = sorted(pool - set(pe.caps), key=lambda c: c.name)
+                if missing:
+                    old = pe.caps
+                    if attempt(
+                        lambda: adg.replace_node(
+                            pe.node_id, caps=old | {missing[0]}
+                        ),
+                        lambda: adg.replace_node(pe.node_id, caps=old),
+                    ):
+                        return True
+                    return False
+            return False
+
+        def step_memory_links() -> bool:
+            for engine in adg.engines:
+                for port in adg.in_ports:
+                    if not adg.has_link(engine.node_id, port.node_id):
+                        if attempt(
+                            lambda: adg.add_link(engine.node_id, port.node_id),
+                            lambda: adg.remove_link(
+                                engine.node_id, port.node_id
+                            ),
+                        ):
+                            return True
+                        return False
+                for port in adg.out_ports:
+                    if not adg.has_link(port.node_id, engine.node_id):
+                        if attempt(
+                            lambda: adg.add_link(port.node_id, engine.node_id),
+                            lambda: adg.remove_link(
+                                port.node_id, engine.node_id
+                            ),
+                        ):
+                            return True
+                        return False
+            return False
+
+        def step_add_ports() -> bool:
+            switches = adg.switches
+            if not switches:
+                return False
+            if len(adg.in_ports) < 12:
+                port = adg.add_in_port(
+                    width_bytes=8, supports_padding=True, supports_meta=True
+                )
+                adg.add_link(port, switches[0].node_id)
+                for engine in adg.engines:
+                    adg.add_link(engine.node_id, port)
+                if still_fits():
+                    return True
+                adg.remove_node(port)
+            if len(adg.out_ports) < 6:
+                port = adg.add_out_port(width_bytes=8)
+                adg.add_link(switches[-1].node_id, port)
+                for engine in adg.engines:
+                    adg.add_link(port, engine.node_id)
+                if still_fits():
+                    return True
+                adg.remove_node(port)
+            return False
+
+        def step_widen_ports() -> bool:
+            for port in sorted(
+                adg.in_ports + adg.out_ports,
+                key=lambda p: (p.width_bytes, p.node_id),
+            ):
+                wider = [w for w in PORT_WIDTHS if w > port.width_bytes]
+                if not wider:
+                    continue
+                old = port.width_bytes
+                if attempt(
+                    lambda: adg.replace_node(port.node_id, width_bytes=wider[0]),
+                    lambda: adg.replace_node(port.node_id, width_bytes=old),
+                ):
+                    return True
+                return False
+            return False
+
+        def step_widen_pes() -> bool:
+            for pe in sorted(adg.pes, key=lambda p: (p.width_bits, p.node_id)):
+                wider = [w for w in PE_WIDTHS if w > pe.width_bits]
+                if not wider:
+                    continue
+                old = pe.width_bits
+                if attempt(
+                    lambda: adg.replace_node(pe.node_id, width_bits=wider[0]),
+                    lambda: adg.replace_node(pe.node_id, width_bits=old),
+                ):
+                    return True
+                return False
+            return False
+
+        def step_grow_spad() -> bool:
+            for spad in sorted(
+                adg.spads, key=lambda sp: (sp.capacity_bytes, sp.node_id)
+            ):
+                bigger = [c for c in SPAD_CAPACITIES if c > spad.capacity_bytes]
+                if not bigger:
+                    continue
+                old = spad.capacity_bytes
+                if attempt(
+                    lambda: adg.replace_node(
+                        spad.node_id, capacity_bytes=bigger[0]
+                    ),
+                    lambda: adg.replace_node(spad.node_id, capacity_bytes=old),
+                ):
+                    return True
+                return False
+            return False
+
+        def step_add_pe() -> bool:
+            switches = adg.switches
+            if not switches or not adg.pes:
+                return False
+            donor = max(adg.pes, key=lambda p: (len(p.caps), p.node_id))
+            pe_id = adg.add_pe(caps=donor.caps, width_bits=donor.width_bits)
+            sw = switches[pe_id % len(switches)]
+            adg.add_link(sw.node_id, pe_id)
+            adg.add_link(pe_id, sw.node_id)
+            if still_fits():
+                return True
+            adg.remove_node(pe_id)
+            return False
+
+        ordered_steps = (
+            step_reattach_ports,
+            step_switch_ring,
+            step_pe_fan,
+            step_missing_caps,
+            step_memory_links,
+            step_add_ports,
+            step_add_pe,
+            step_widen_ports,
+            step_widen_pes,
+            step_grow_spad,
+        )
+        steps = 0
+        progress = True
+        while progress and steps < 1000:
+            progress = False
+            for step in ordered_steps:
+                if step():
+                    steps += 1
+                    progress = True
+                    break
+        return steps
+
+    def _system_dse(
+        self, adg: ADG, schedules: Dict[str, Schedule]
+    ) -> Optional[SystemChoice]:
+        self.modeled_seconds += self.config.time_model.model_eval * 60
+        return system_dse(
+            adg,
+            list(schedules.values()),
+            estimator=self.estimator,
+            budget=self.budget,
+            max_tiles=self.config.max_tiles,
+        )
+
+    def _accept(
+        self, candidate: SystemChoice, incumbent: SystemChoice, iteration: int
+    ) -> bool:
+        if candidate.objective > incumbent.objective:
+            return True
+        if candidate.objective == incumbent.objective:
+            return candidate.tile_resources.lut < incumbent.tile_resources.lut
+        cfg = self.config
+        progress = iteration / max(1, cfg.iterations)
+        temperature = cfg.initial_temperature * (
+            (cfg.final_temperature / cfg.initial_temperature) ** progress
+        )
+        if incumbent.objective <= 0:
+            return True
+        rel_drop = (incumbent.objective - candidate.objective) / incumbent.objective
+        return self.rng.random() < math.exp(-rel_drop / temperature)
+
+
+def explore(
+    workloads: Sequence[Workload],
+    config: Optional[DseConfig] = None,
+    name: str = "overlay",
+) -> DseResult:
+    """Run the full OverGen DSE for a workload set."""
+    return Explorer(workloads, config, name).run()

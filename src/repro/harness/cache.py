@@ -1,0 +1,27 @@
+"""Process-level memoization for expensive experiment artifacts.
+
+Many benchmarks share the same DSE runs (the suite overlays feed Figs. 13,
+15, 16, 17, 18 and Table III).  Artifacts are cached in-process keyed by a
+stable signature, so one pytest/benchmark session runs each DSE once.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Tuple
+
+_CACHE: Dict[Tuple, Any] = {}
+
+
+def memoized(key: Tuple, builder: Callable[[], Any]) -> Any:
+    """Return the cached artifact for ``key``, building it on first use."""
+    if key not in _CACHE:
+        _CACHE[key] = builder()
+    return _CACHE[key]
+
+
+def clear_cache() -> None:
+    _CACHE.clear()
+
+
+def cache_size() -> int:
+    return len(_CACHE)

@@ -1,0 +1,346 @@
+"""EXPERIMENTS.md generation: paper-vs-measured for every table/figure.
+
+Run ``python -m repro.harness.report [output-path]`` to regenerate the
+report (several minutes: it runs every DSE and simulation in the suite).
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import List
+
+from ..model.resource import MlEstimator, TABLE1_COUNTS
+from ..rtl import estimated_frequency, floorplan
+from ..workloads import SUITE_NAMES
+from . import experiments as ex
+from .tables import geomean, render_table
+
+
+def _fig13_section() -> str:
+    rows = ex.fig13_overall()
+    means = ex.fig13_geomeans(rows)
+    paper = {
+        "dsp": (1.21, 0.71),
+        "machsuite": (1.13, 0.37),
+        "vision": (1.25, 0.65),
+    }
+    lines = ["## Fig. 13 — Overall performance vs AutoDSE", ""]
+    lines.append(
+        render_table(
+            ["suite", "suite-OG vs untuned AD (paper)", "(measured)",
+             "suite-OG vs tuned AD (paper)", "(measured)"],
+            [
+                (
+                    s, f"{paper[s][0]:.2f}x",
+                    f"{means[s]['suite_og']:.2f}x",
+                    f"{paper[s][1]:.2f}x",
+                    f"{means[s]['suite_og'] / means[s]['tuned_ad']:.2f}x",
+                )
+                for s in SUITE_NAMES
+            ],
+        )
+    )
+    lines.append("")
+    lines.append(
+        render_table(
+            ["workload", "suite", "tuned-AD", "general-OG", "suite-OG",
+             "w/l-OG"],
+            [
+                (r.workload, r.suite, f"{r.tuned_ad:.2f}",
+                 f"{r.general_og:.2f}" if r.general_og else "n/a",
+                 f"{r.suite_og:.2f}", f"{r.workload_og:.2f}")
+                for r in rows
+            ],
+            title="Per-workload speedup over untuned AutoDSE:",
+        )
+    )
+    return "\n".join(lines)
+
+
+def _fig14_section() -> str:
+    rows = ex.fig14_tuning()
+    lines = ["## Fig. 14 — Effect of kernel tuning", ""]
+    lines.append(
+        "Paper: HLS gains far more from manual tuning than OverGen "
+        "(OverGen's ISA handles variable trips / strided access natively). "
+        f"Measured tuned-AD geomean gain: "
+        f"{geomean([r.ad_tuned for r in rows]):.2f}x."
+    )
+    lines.append("")
+    lines.append(
+        render_table(
+            ["workload", "AD tuned gain", "w/l-OG vs untuned AD"],
+            [(r.workload, f"{r.ad_tuned:.2f}x", f"{r.wl_og:.2f}x") for r in rows],
+        )
+    )
+    lines.append("")
+    lines.append(
+        "*Substitution*: the paper also hand-tunes 4 OverGen kernels "
+        "(fft/gemm/stencil-2d/blur); our compiler applies its "
+        "transformations automatically, so only the AutoDSE tuning axis "
+        "is swept."
+    )
+    return "\n".join(lines)
+
+
+def _fig15_section() -> str:
+    summary = ex.fig15_summary()
+    paper_totals = {"dsp": 52.6, "machsuite": 69.2, "vision": 92.8}
+    lines = ["## Fig. 15 — DSE & synthesis time", ""]
+    lines.append(
+        render_table(
+            ["suite", "AutoDSE total (paper)", "AutoDSE (ours, modeled)",
+             "OverGen suite DSE (ours, modeled)"],
+            [
+                (s, f"{paper_totals[s]:.1f}h",
+                 f"{summary[f'{s}_autodse_h']:.1f}h",
+                 f"{summary[f'{s}_overgen_h']:.1f}h")
+                for s in SUITE_NAMES
+            ],
+        )
+    )
+    lines.append("")
+    lines.append(
+        f"OverGen/AutoDSE time fraction: paper 47%, measured "
+        f"{summary['fraction']:.0%} (toolchain costs are modeled constants; "
+        "see `TimeModel`)."
+    )
+    return "\n".join(lines)
+
+
+def _fig16_section() -> str:
+    overlays = ex.fig16_overlays()
+    ad = ex.fig16_autodse()
+    lines = ["## Fig. 16 — FPGA resource breakdown", ""]
+    lut_values = [r.lut for r in overlays]
+    lines.append(
+        f"Overlay LUT occupation: paper 81-97%; measured "
+        f"{min(lut_values):.0%}-{max(lut_values):.0%} "
+        "(LUTs are the limiting resource in every design). AutoDSE designs "
+        f"use {min(r.lut for r in ad):.0%}-{max(r.lut for r in ad):.0%}."
+    )
+    return "\n".join(lines)
+
+
+def _fig17_section() -> str:
+    rows = ex.fig17_leave_one_out()
+    mapped = [r for r in rows if r.mapped]
+    lines = ["## Fig. 17 — Leave-one-out flexibility (MachSuite)", ""]
+    lines.append(
+        render_table(
+            ["left-out", "maps?", "rel perf", "compile speedup",
+             "reconfig speedup"],
+            [
+                (r.workload, "yes" if r.mapped else "NO",
+                 f"{r.relative_performance:.0%}" if r.mapped else "-",
+                 f"{r.compile_speedup:,.0f}x" if r.mapped else "-",
+                 f"{r.reconfig_speedup:,.0f}x" if r.mapped else "-")
+                for r in rows
+            ],
+        )
+    )
+    lines.append("")
+    lines.append(
+        f"Paper: all map, mean ~50% degradation, 10^4x compile, 5.4x10^4x "
+        f"reconfig. Measured: {len(mapped)}/5 map (our lane-SIMD "
+        "vectorization keeps fewer, wider PEs, so the 17-instruction "
+        "stencil-2d graph cannot fit an overlay that never saw it)."
+    )
+    return "\n".join(lines)
+
+
+def _fig18_section() -> str:
+    rows = ex.fig18_incremental()
+    lines = ["## Fig. 18 — Incremental design optimization", ""]
+    lines.append(
+        render_table(
+            ["added", "tiles", "LUT/tile", "datapath LUT/tile"],
+            [
+                (r.added, r.tiles, f"{r.lut_per_tile_fraction:.1%}",
+                 f"{r.datapath_fraction:.1%}")
+                for r in rows
+            ],
+        )
+    )
+    lines.append("")
+    lines.append(
+        "Paper: tiles fall 15 -> 10 while the per-tile datapath grows; "
+        f"measured: {rows[0].tiles} -> {rows[-1].tiles} with per-tile LUT "
+        f"{rows[0].lut_per_tile_fraction:.1%} -> "
+        f"{rows[-1].lut_per_tile_fraction:.1%}."
+    )
+    return "\n".join(lines)
+
+
+def _fig19_section() -> str:
+    rows = ex.fig19_dram_channels()
+    og4 = geomean([r.og_speedup[4] for r in rows])
+    ad4 = geomean([r.ad_speedup[4] for r in rows])
+    lines = ["## Fig. 19 — DRAM channel scaling", ""]
+    lines.append(
+        f"Geomean 4-channel speedup across all 19 kernels: OverGen "
+        f"{og4:.2f}x, AutoDSE {ad4:.2f}x (paper: benefits concentrate in "
+        "memory-intensive kernels, mean ~19-25% on the benefiting sets)."
+    )
+    gainers = [r.workload for r in rows if r.og_speedup[4] > 1.1]
+    lines.append(f"OverGen kernels gaining >10%: {', '.join(gainers)}.")
+    return "\n".join(lines)
+
+
+def _fig20_section() -> str:
+    results = [ex.fig20_schedule_preserving(s) for s in SUITE_NAMES]
+    lines = ["## Fig. 20 — Schedule-preserving transformations", ""]
+    lines.append(
+        render_table(
+            ["suite", "est IPC ratio (preserved/non)", "DSE-time delta"],
+            [
+                (r.suite, f"{r.ipc_improvement:.2f}x",
+                 f"{r.time_reduction:+.0%}")
+                for r in results
+            ],
+        )
+    )
+    mean_ratio = geomean([r.ipc_improvement for r in results])
+    lines.append("")
+    lines.append(
+        f"Paper: 1.09x estimated IPC, ~15% DSE-time reduction; measured "
+        f"geomean IPC ratio {mean_ratio:.2f}x."
+    )
+    return "\n".join(lines)
+
+
+def _fig11_12_section() -> str:
+    from ..sim import EngineSim, PortFifo, StreamState
+
+    def rate(onehot: bool) -> float:
+        port = PortFifo("p", capacity=1e9)
+        engine = EngineSim("e", 8, onehot_bypass=onehot)
+        engine.add_stream(
+            StreamState("s", 1e9, 1.0, port, True, 8)
+        )
+        return sum(engine.step(t) for t in range(200)) / 200
+
+    plan = floorplan(ex.general_sysadg())
+    freq = estimated_frequency(plan)
+    lines = ["## Fig. 11 — Stream-table one-hot bypass", ""]
+    lines.append(
+        f"Single-stream issue rate: {rate(False):.2f}/cycle without the "
+        f"bypass, {rate(True):.2f}/cycle with it (paper: 0.5 -> 1.0)."
+    )
+    lines.append("")
+    lines.append("## Fig. 12 — Quad-tile floorplan")
+    lines.append("")
+    lines.append("```")
+    lines.append(plan.ascii_art())
+    lines.append("```")
+    lines.append(
+        f"Estimated clock {freq:.1f} MHz (paper: 92.87 MHz, critical path "
+        "in L2 MSHR logic)."
+    )
+    return "\n".join(lines)
+
+
+def _tables_section() -> str:
+    lines = ["## Table I — ML resource-model dataset", ""]
+    est = MlEstimator(dataset_scale=0.05)
+    lines.append(
+        render_table(
+            ["family", "paper #synth", "LUT err", "FF err"],
+            [
+                (fam, TABLE1_COUNTS[fam],
+                 f"{est.training_error[fam]['lut']:.1%}",
+                 f"{est.training_error[fam]['ff']:.1%}")
+                for fam in TABLE1_COUNTS
+            ],
+        )
+    )
+    lines.append("")
+    lines.append("## Table II — Workload specifications")
+    lines.append("")
+    rows = ex.table2_workload_specs()
+    lines.append(
+        render_table(
+            ["workload", "size", "type", "#ivp", "#ovp", "#arr", "#m,a,d"],
+            [
+                (r["workload"], r["size"], r["type"], r["ivp"], r["ovp"],
+                 r["arr"], f"{r['mul']},{r['add']},{r['div']}")
+                for r in rows
+            ],
+        )
+    )
+    lines.append("")
+    lines.append("## Table III — Suite overlay specifications")
+    lines.append("")
+    t3 = ex.table3_suite_overlays()
+    lines.append(
+        render_table(
+            ["overlay", "tiles", "L2 banks", "NoC B", "PEs", "SWs",
+             "int +/x/div", "flt +/x/div/sqrt", "spad KiB", "in B", "out B"],
+            [
+                (r["overlay"], r["tiles"], r["l2_banks"], r["noc_bytes"],
+                 r["pes"], r["switches"], r["int_fus"], r["flt_fus"],
+                 r["spad_kib"], r["in_port_bytes"], r["out_port_bytes"])
+                for r in t3
+            ],
+        )
+    )
+    lines.append("")
+    lines.append("## Table IV — HLS initiation intervals")
+    lines.append("")
+    t4 = ex.table4_hls_ii()
+    lines.append(
+        render_table(
+            ["workload", "cause", "untuned II", "tuned II"],
+            [
+                (r["workload"], r["cause"], r["untuned_ii"], r["tuned_ii"])
+                for r in t4
+            ],
+        )
+    )
+    lines.append("")
+    lines.append("(Table IV values are the paper's measured IIs, encoded as "
+                 "model inputs — reproduced exactly by construction.)")
+    return "\n".join(lines)
+
+
+HEADER = """# EXPERIMENTS — paper vs measured
+
+Generated by `python -m repro.harness.report`.  Every number below is
+recomputed from scratch by this repository (DSE runs, cycle-level
+simulation, analytical baselines); nothing is hard-coded except the paper's
+reference values and the HLS initiation intervals of Table IV (measured
+toolchain behavior that our baseline *model* takes as input).
+
+Absolute times are modeled (our substrate is a simulator, not a VCU118);
+the comparisons preserve the paper's *shapes*: who wins, by roughly what
+factor, and where the crossovers fall.
+"""
+
+
+def generate_report() -> str:
+    sections = [
+        HEADER,
+        _tables_section(),
+        _fig11_12_section(),
+        _fig13_section(),
+        _fig14_section(),
+        _fig15_section(),
+        _fig16_section(),
+        _fig17_section(),
+        _fig18_section(),
+        _fig19_section(),
+        _fig20_section(),
+    ]
+    return "\n\n".join(sections) + "\n"
+
+
+def main(argv: List[str]) -> None:
+    path = argv[1] if len(argv) > 1 else "EXPERIMENTS.md"
+    report = generate_report()
+    with open(path, "w") as f:
+        f.write(report)
+    print(f"wrote {path} ({report.count(chr(10))} lines)")
+
+
+if __name__ == "__main__":
+    main(sys.argv)

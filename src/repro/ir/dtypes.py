@@ -1,0 +1,68 @@
+"""Datatypes supported by the decoupled-spatial ISA.
+
+The paper's functional units cover 8- to 64-bit integers plus single and
+double precision floats (Section III-B).  ``fft`` uses interleaved complex
+single-precision values, which the paper denotes ``f32x2``; we model it as a
+64-bit element whose arithmetic maps to paired f32 units.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class DType:
+    """An element datatype.
+
+    Attributes:
+        name: canonical short name, e.g. ``"i16"`` or ``"f64"``.
+        bits: storage width of one element in bits.
+        is_float: whether arithmetic uses floating-point functional units.
+        lanes: sub-elements packed in one element (2 for ``f32x2``).
+    """
+
+    name: str
+    bits: int
+    is_float: bool
+    lanes: int = 1
+
+    @property
+    def bytes(self) -> int:
+        return self.bits // 8
+
+    @property
+    def scalar_bits(self) -> int:
+        """Width of one scalar lane (e.g. 32 for ``f32x2``)."""
+        return self.bits // self.lanes
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.name
+
+
+I8 = DType("i8", 8, False)
+I16 = DType("i16", 16, False)
+I32 = DType("i32", 32, False)
+I64 = DType("i64", 64, False)
+F32 = DType("f32", 32, True)
+F64 = DType("f64", 64, True)
+F32X2 = DType("f32x2", 64, True, lanes=2)
+
+_BY_NAME = {t.name: t for t in (I8, I16, I32, I64, F32, F64, F32X2)}
+
+
+def dtype_from_name(name: str) -> DType:
+    """Look up a datatype by its canonical name.
+
+    Raises:
+        KeyError: if ``name`` is not a supported datatype.
+    """
+    try:
+        return _BY_NAME[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown dtype {name!r}; supported: {sorted(_BY_NAME)}"
+        ) from None
+
+
+ALL_DTYPES = tuple(_BY_NAME.values())

@@ -1,0 +1,112 @@
+"""Operation vocabulary of the compute fabric.
+
+Each :class:`Op` names an arithmetic/logic operation a processing element may
+implement.  A *functional-unit capability* is an (op, dtype-class) pair — see
+:mod:`repro.adg.capability` — so the same ``MUL`` op yields distinct FUs for
+``i16`` versus ``f64``.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class Op(enum.Enum):
+    """Primitive operations in the dataflow ISA."""
+
+    ADD = "add"
+    SUB = "sub"
+    MUL = "mul"
+    DIV = "div"
+    SQRT = "sqrt"
+    MAX = "max"
+    MIN = "min"
+    ABS = "abs"
+    SHL = "shl"
+    SHR = "shr"
+    AND = "and"
+    OR = "or"
+    XOR = "xor"
+    CMP = "cmp"
+    SELECT = "select"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+#: Ops taking a single value operand.
+UNARY_OPS = frozenset({Op.SQRT, Op.ABS})
+
+#: Ops taking two value operands.
+BINARY_OPS = frozenset(
+    {
+        Op.ADD,
+        Op.SUB,
+        Op.MUL,
+        Op.DIV,
+        Op.MAX,
+        Op.MIN,
+        Op.SHL,
+        Op.SHR,
+        Op.AND,
+        Op.OR,
+        Op.XOR,
+        Op.CMP,
+    }
+)
+
+#: Ops taking three operands (predicate, then, else).
+TERNARY_OPS = frozenset({Op.SELECT})
+
+#: Ops that are associative+commutative, eligible for reduction trees.
+REDUCIBLE_OPS = frozenset({Op.ADD, Op.MUL, Op.MAX, Op.MIN, Op.AND, Op.OR, Op.XOR})
+
+#: Ops that only exist for integer datatypes.
+INT_ONLY_OPS = frozenset({Op.SHL, Op.SHR, Op.AND, Op.OR, Op.XOR})
+
+#: Ops that only exist for floating-point datatypes.
+FLOAT_ONLY_OPS = frozenset({Op.SQRT})
+
+
+def arity(op: Op) -> int:
+    """Number of value operands ``op`` consumes."""
+    if op in UNARY_OPS:
+        return 1
+    if op in BINARY_OPS:
+        return 2
+    if op in TERNARY_OPS:
+        return 3
+    raise ValueError(f"op {op} has no defined arity")
+
+
+#: Pipeline latency (cycles) of each op on the fabric; used for delay-FIFO
+#: balancing and the simulator.  Values follow typical FPGA IP latencies.
+OP_LATENCY = {
+    Op.ADD: 1,
+    Op.SUB: 1,
+    Op.MUL: 3,
+    Op.DIV: 12,
+    Op.SQRT: 16,
+    Op.MAX: 1,
+    Op.MIN: 1,
+    Op.ABS: 1,
+    Op.SHL: 1,
+    Op.SHR: 1,
+    Op.AND: 1,
+    Op.OR: 1,
+    Op.XOR: 1,
+    Op.CMP: 1,
+    Op.SELECT: 1,
+}
+
+
+def op_latency(op: Op, is_float: bool) -> int:
+    """Latency in cycles of ``op``; float variants are deeper pipelines."""
+    base = OP_LATENCY[op]
+    if is_float and op in (Op.ADD, Op.SUB, Op.MAX, Op.MIN, Op.CMP):
+        return base + 2  # FP add/compare pipelines are deeper than int
+    if is_float and op is Op.MUL:
+        return base + 2
+    if is_float and op is Op.DIV:
+        return base + 8
+    return base

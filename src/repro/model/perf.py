@@ -1,0 +1,301 @@
+"""Bottleneck-based performance model (Section V-C, Equations 1-2).
+
+An mDFG's estimated IPC is::
+
+    IPC = (mDFG insts) x (# tiles) x min over levels (R_prod / R_cons)
+
+where the levels are the scratchpads (L1), the shared L2, and DRAM, plus
+the auxiliary recurrence/generate engine bandwidths.  Consumption rates are
+reuse-discounted: a stream whose value is held stationary at its port only
+fetches once per ``held`` firings, and a stream whose array lives in the
+scratchpad or hits in L2 stops consuming downstream bandwidth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from ..adg import ADG, NodeKind, SpadEngine, SysADG, SystemParams
+from ..dfg import MDFG, ArrayPlacement, StreamKind, StreamNode
+
+
+@dataclass(frozen=True)
+class MemoryBinding:
+    """Where each memory stream of an mDFG executes.
+
+    ``stream_engine`` maps stream node-id -> ADG engine node-id; the engine
+    kind determines the level (scratchpad vs DMA/L2/DRAM).  Produced by the
+    spatial scheduler; for pre-scheduling estimates use
+    :func:`preferred_binding`.
+    """
+
+    stream_engine: Mapping[int, int]
+
+    def engine_of(self, stream_id: int) -> Optional[int]:
+        return self.stream_engine.get(stream_id)
+
+
+@dataclass(frozen=True)
+class PerfEstimate:
+    """Result of the bottleneck analysis for one (mDFG, system) pair."""
+
+    ipc: float
+    tiles_used: float
+    insts_per_cycle: float
+    factors: Dict[str, float]
+
+    @property
+    def bottleneck(self) -> str:
+        """The level that limits performance ('none' when compute-bound)."""
+        limiting = min(self.factors, key=lambda k: self.factors[k], default="none")
+        if not self.factors or self.factors[limiting] >= 1.0:
+            return "none"
+        return limiting
+
+
+def stream_demand_bytes(
+    stream: StreamNode, unroll: int, reuse_aware: bool = True
+) -> float:
+    """Bytes/cycle this stream pulls from its engine at full fabric rate.
+
+    Stationary reuse at the port divides the demand: the stream delivers one
+    value per ``held`` firings (``held`` = stationary trips / unroll).
+    ``reuse_aware=False`` disables the discount (the ablation of Section
+    IV's reuse-annotated model).
+    """
+    if not reuse_aware:
+        return stream.lanes * stream.dtype.bytes
+    held = max(1.0, stream.stationary_reuse / max(1, unroll))
+    return stream.lanes * stream.dtype.bytes / held
+
+
+def total_l2_footprint(
+    mdfg: MDFG, stream: StreamNode, num_tiles: int
+) -> float:
+    """Bytes of the stream's array competing for L2 across all tiles.
+
+    Partitionable arrays split across tiles (total = one copy); arrays
+    shared by every tile are effectively replicated in the working set.
+    """
+    array = next((a for a in mdfg.arrays if a.array == stream.array), None)
+    if array is None:
+        return 0.0
+    if array.partitionable:
+        return float(array.footprint_bytes)
+    return float(array.footprint_bytes) * max(1, num_tiles)
+
+
+def preferred_binding(mdfg: MDFG, adg: ADG) -> MemoryBinding:
+    """A plausible binding without running the spatial scheduler.
+
+    Arrays preferring scratchpad go to the first scratchpad with space
+    (greedy, highest reuse first); everything else to the first DMA.
+    Recurrence/generate/register streams bind to their engine kind when one
+    exists, else fall back to DMA (the scheduler would relax similarly).
+    """
+    binding: Dict[int, int] = {}
+    spads = list(adg.spads)
+    spad_free = {s.node_id: float(s.capacity_bytes) for s in spads}
+    dmas = adg.dmas
+    dma_id = dmas[0].node_id if dmas else None
+    aux = {
+        StreamKind.RECURRENCE: NodeKind.RECURRENCE,
+        StreamKind.GENERATE: NodeKind.GENERATE,
+        StreamKind.REGISTER: NodeKind.REGISTER,
+    }
+    arrays = sorted(mdfg.arrays, key=lambda a: -a.memory_reuse)
+    array_spad: Dict[str, Optional[int]] = {}
+    for array in arrays:
+        need = float(array.footprint_bytes)
+        if array.partitionable:
+            need /= max(1.0, min(16.0, mdfg.tile_parallelism))
+        target = None
+        if array.preferred is ArrayPlacement.SPAD:
+            for spad in spads:
+                indirect_ok = not array.indirect_target or spad.indirect
+                if spad_free[spad.node_id] >= need and indirect_ok:
+                    target = spad.node_id
+                    spad_free[spad.node_id] -= need
+                    break
+        array_spad[array.array] = target
+    for stream in mdfg.streams:
+        if stream.kind in aux:
+            engines = adg.of_kind(aux[stream.kind])
+            if engines:
+                binding[stream.node_id] = engines[0].node_id
+                continue
+            if dma_id is not None:
+                binding[stream.node_id] = dma_id
+            continue
+        if not stream.is_memory:
+            continue
+        spad = array_spad.get(stream.array)
+        if spad is not None and not (stream.indirect and not _spad_indirect(adg, spad)):
+            binding[stream.node_id] = spad
+        elif dma_id is not None:
+            binding[stream.node_id] = dma_id
+    return MemoryBinding(binding)
+
+
+def _spad_indirect(adg: ADG, spad_id: int) -> bool:
+    node = adg.node(spad_id)
+    return isinstance(node, SpadEngine) and node.indirect
+
+
+def estimate_ipc(
+    mdfg: MDFG,
+    binding: MemoryBinding,
+    adg: ADG,
+    params: SystemParams,
+    num_tiles: Optional[int] = None,
+    reuse_aware: bool = True,
+) -> PerfEstimate:
+    """Equations 1-2: bottleneck-limited IPC of ``mdfg`` on the overlay.
+
+    ``reuse_aware=False`` runs the ablated model: no stationary-port
+    discount and no L2-reuse filtering of DRAM demand (every stream pays
+    full bandwidth at every level).
+    """
+    tiles = params.num_tiles if num_tiles is None else num_tiles
+    tiles_used = min(float(tiles), mdfg.tile_parallelism)
+    factors: Dict[str, float] = {}
+
+    # ------------------------------------------------------------------
+    # L1: per-scratchpad read/write bandwidth (private per tile, banks=1).
+    # ------------------------------------------------------------------
+    spad_read: Dict[int, float] = {}
+    spad_write: Dict[int, float] = {}
+    dma_streams: List[StreamNode] = []
+    rec_demand = 0.0
+    gen_demand = 0.0
+    for stream in mdfg.streams:
+        engine_id = binding.engine_of(stream.node_id)
+        if engine_id is None or not adg.has_node(engine_id):
+            continue
+        kind = adg.node(engine_id).kind
+        demand = stream_demand_bytes(stream, mdfg.unroll, reuse_aware)
+        if kind is NodeKind.SPAD:
+            if stream.kind is StreamKind.MEMORY_READ:
+                spad_read[engine_id] = spad_read.get(engine_id, 0.0) + demand
+            else:
+                spad_write[engine_id] = spad_write.get(engine_id, 0.0) + demand
+        elif kind is NodeKind.DMA:
+            dma_streams.append(stream)
+        elif kind is NodeKind.RECURRENCE:
+            rec_demand += demand
+        elif kind is NodeKind.GENERATE:
+            gen_demand += demand
+        # register engine bandwidth is negligible (scalar collection)
+    for engine_id, demand in spad_read.items():
+        spad = adg.node(engine_id)
+        if demand > 0:
+            factors[f"spad{engine_id}.read"] = spad.read_bandwidth / demand
+    for engine_id, demand in spad_write.items():
+        spad = adg.node(engine_id)
+        if demand > 0:
+            factors[f"spad{engine_id}.write"] = spad.write_bandwidth / demand
+
+    # ------------------------------------------------------------------
+    # DMA engine issue bandwidth (per tile).
+    # ------------------------------------------------------------------
+    dma_demand = sum(
+        stream_demand_bytes(s, mdfg.unroll, reuse_aware) * s.stride_overfetch
+        for s in dma_streams
+    )
+    if dma_streams and dma_demand > 0:
+        dma_bw = max((d.bandwidth_bytes for d in adg.dmas), default=0)
+        if dma_bw:
+            factors["dma"] = dma_bw / dma_demand
+
+    # ------------------------------------------------------------------
+    # NoC: each tile's crossbar link bounds its own L2 traffic.
+    # ------------------------------------------------------------------
+    if dma_demand > 0:
+        factors["noc"] = params.noc_bytes_per_cycle / dma_demand
+
+    # ------------------------------------------------------------------
+    # L2: shared across tiles; banks multiply production (Eq. 2).
+    # ------------------------------------------------------------------
+    if dma_demand > 0:
+        production = params.l2_bank_bandwidth * params.l2_banks
+        consumption = dma_demand * tiles_used
+        factors["l2"] = production / consumption
+
+    # ------------------------------------------------------------------
+    # DRAM: streams whose working set misses in L2 keep their demand;
+    # workloads whose footprint fits are filtered by L2 reuse.
+    # ------------------------------------------------------------------
+    dram_demand_tile = 0.0
+    for stream in dma_streams:
+        demand = (
+            stream_demand_bytes(stream, mdfg.unroll, reuse_aware)
+            * stream.stride_overfetch
+        )
+        footprint = total_l2_footprint(mdfg, stream, max(1, int(tiles_used)))
+        if reuse_aware and footprint <= params.l2_bytes:
+            array = next(
+                (a for a in mdfg.arrays if a.array == stream.array), None
+            )
+            reuse = array.memory_reuse if array is not None else 1.0
+            demand /= max(1.0, reuse)
+        dram_demand_tile += demand
+    if dram_demand_tile > 0:
+        factors["dram"] = params.dram_bytes_per_cycle / (
+            dram_demand_tile * tiles_used
+        )
+
+    # ------------------------------------------------------------------
+    # Auxiliary engines.
+    # ------------------------------------------------------------------
+    if rec_demand > 0:
+        rec_bw = max(
+            (e.bandwidth_bytes for e in adg.of_kind(NodeKind.RECURRENCE)),
+            default=0,
+        )
+        if rec_bw:
+            factors["rec"] = rec_bw / rec_demand
+    if gen_demand > 0:
+        gen_bw = max(
+            (e.bandwidth_bytes for e in adg.of_kind(NodeKind.GENERATE)),
+            default=0,
+        )
+        if gen_bw:
+            factors["gen"] = gen_bw / gen_demand
+
+    bottleneck = min(factors.values()) if factors else 1.0
+    ipc = mdfg.insts_per_cycle * tiles_used * min(1.0, bottleneck)
+    return PerfEstimate(
+        ipc=ipc,
+        tiles_used=tiles_used,
+        insts_per_cycle=mdfg.insts_per_cycle,
+        factors=factors,
+    )
+
+
+def estimate_cycles(
+    mdfg: MDFG,
+    binding: MemoryBinding,
+    adg: ADG,
+    params: SystemParams,
+) -> float:
+    """Estimated execution cycles of the region on the full overlay."""
+    est = estimate_ipc(mdfg, binding, adg, params)
+    if est.ipc <= 0:
+        return float("inf")
+    return mdfg.total_instructions / est.ipc
+
+
+def geomean_ipc(estimates: List[PerfEstimate], weights=None) -> float:
+    """Weighted geometric-mean IPC across workloads (the DSE objective)."""
+    if not estimates:
+        return 0.0
+    if weights is None:
+        weights = [1.0] * len(estimates)
+    total_w = sum(weights)
+    log_sum = 0.0
+    import math
+
+    for est, w in zip(estimates, weights):
+        log_sum += w * math.log(max(est.ipc, 1e-9))
+    return math.exp(log_sum / total_w)

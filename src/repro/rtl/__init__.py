@@ -1,0 +1,23 @@
+"""RTL backend: structural Verilog emission + FPGA floorplanning."""
+
+from .floorplan import (
+    DRAM_CONTROLLER_XY,
+    Floorplan,
+    NUM_SLRS,
+    TilePlacement,
+    estimated_frequency,
+    floorplan,
+)
+from .verilog import emit_system, emit_tile, rtl_stats
+
+__all__ = [
+    "DRAM_CONTROLLER_XY",
+    "Floorplan",
+    "NUM_SLRS",
+    "TilePlacement",
+    "emit_system",
+    "emit_tile",
+    "estimated_frequency",
+    "floorplan",
+    "rtl_stats",
+]

@@ -1,0 +1,22 @@
+"""The spatial scheduler: mDFG -> ADG mapping with memory-aware binding."""
+
+from .binder import bind_memory
+from .placer import place_and_route, topo_compute_order
+from .router import RoutingState, find_route, route_distance
+from .schedule import EdgeKey, Schedule, ScheduleError
+from .spatial import repair_schedule, schedule_mdfg, schedule_workload
+
+__all__ = [
+    "EdgeKey",
+    "RoutingState",
+    "Schedule",
+    "ScheduleError",
+    "bind_memory",
+    "find_route",
+    "place_and_route",
+    "repair_schedule",
+    "route_distance",
+    "schedule_mdfg",
+    "schedule_workload",
+    "topo_compute_order",
+]

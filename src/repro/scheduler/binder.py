@@ -1,0 +1,238 @@
+"""Memory-side binding: array nodes -> engines, streams -> engines + ports.
+
+This implements the mDFG scheduling constraints of Section IV-B:
+
+1. a scratchpad must have remaining capacity for the array (double-buffered
+   footprint already included by the compiler);
+2. there must be a legal (point-to-point) route from the engine to the
+   hardware port the stream uses;
+3. the engine must support the stream's access pattern (indirect access
+   needs indirect-capable hardware; recurrences must fit the recurrence
+   engine's buffer).
+
+Arrays are bound highest-memory-reuse first, and arrays whose reuse is
+already captured at the port (stationary) yield the scratchpad to others —
+the prioritization the paper motivates with the FIR example.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..adg import ADG, DmaEngine, NodeKind, SpadEngine
+from ..dfg import (
+    ArrayNode,
+    ArrayPlacement,
+    InputPortNode,
+    MDFG,
+    OutputPortNode,
+    StreamKind,
+    StreamNode,
+)
+from .schedule import Schedule, ScheduleError
+
+
+def _required_port_bytes(mdfg: MDFG, stream: StreamNode) -> int:
+    port = mdfg.node(stream.port)
+    return port.width_bytes
+
+
+def _stream_needs_padding(mdfg: MDFG, stream: StreamNode) -> bool:
+    port = mdfg.node(stream.port)
+    return isinstance(port, InputPortNode) and port.needs_padding
+
+
+def effective_footprint(array: ArrayNode, mdfg: MDFG) -> float:
+    """Scratchpad bytes the array needs on ONE tile.
+
+    Partitionable arrays split across tiles along the parallel loop, so a
+    tile only buffers its slice (the unified DSE reasons per tile).
+    """
+    if not array.partitionable:
+        return float(array.footprint_bytes)
+    share = max(1.0, min(16.0, mdfg.tile_parallelism))
+    return array.footprint_bytes / share
+
+
+def _spad_candidates(
+    adg: ADG, array: ArrayNode, mdfg: MDFG, free: Dict[int, float]
+) -> List[SpadEngine]:
+    """Scratchpads with room (and indirect support when required)."""
+    need = effective_footprint(array, mdfg)
+    out = []
+    for spad in adg.spads:
+        if free[spad.node_id] < need:
+            continue
+        if array.indirect_target and not spad.indirect:
+            continue
+        out.append(spad)
+    # Prefer the most free capacity (load balance across scratchpads).
+    out.sort(key=lambda s: (-free[s.node_id], s.node_id))
+    return out
+
+
+def _array_priority(array: ArrayNode, mdfg: MDFG) -> float:
+    """Scratchpad desirability: reuse not already captured at ports.
+
+    Stationary port reuse shrinks the bandwidth an array actually demands,
+    so such arrays gain less from scratchpad placement (Section IV-B).
+    """
+    stationary = 1.0
+    for sid in array.streams:
+        stream = mdfg.node(sid)
+        stationary = max(stationary, float(stream.stationary_reuse))
+    return array.memory_reuse / stationary
+
+
+def bind_memory(mdfg: MDFG, adg: ADG, schedule: Schedule) -> None:
+    """Bind arrays, streams, and DFG ports to engines and hardware ports.
+
+    Raises:
+        ScheduleError: when any constraint cannot be met (the variant is
+            unschedulable on this ADG).
+    """
+    free_capacity = {s.node_id: float(s.capacity_bytes) for s in adg.spads}
+    dmas = adg.dmas
+    if not dmas and mdfg.memory_streams:
+        raise ScheduleError("no DMA engine for memory streams")
+
+    # ------------------------------------------------------------------
+    # Array -> engine decisions (streams follow their array).
+    # ------------------------------------------------------------------
+    array_engine: Dict[str, int] = {}
+    arrays = sorted(
+        mdfg.arrays, key=lambda a: (-_array_priority(a, mdfg), a.array)
+    )
+    for array in arrays:
+        target: Optional[int] = None
+        if array.preferred is ArrayPlacement.SPAD:
+            candidates = _spad_candidates(adg, array, mdfg, free_capacity)
+            if candidates:
+                target = candidates[0].node_id
+                free_capacity[target] -= effective_footprint(array, mdfg)
+        if target is None:
+            if not dmas:
+                raise ScheduleError(f"array {array.array}: no engine available")
+            target = dmas[0].node_id
+            if array.indirect_target and not dmas[0].indirect:
+                raise ScheduleError(
+                    f"array {array.array}: indirect access unsupported by DMA"
+                )
+        array_engine[array.array] = target
+        schedule.placement[array.node_id] = target
+
+    # ------------------------------------------------------------------
+    # Stream -> engine (+ auxiliary engine constraints).
+    # ------------------------------------------------------------------
+    stream_engine: Dict[int, int] = {}
+    for stream in mdfg.streams:
+        if stream.kind is StreamKind.RECURRENCE:
+            recs = adg.of_kind(NodeKind.RECURRENCE)
+            fitting = [
+                r
+                for r in recs
+                if stream.recurrence_depth * stream.dtype.bytes
+                <= r.buffer_bytes
+            ]
+            if not fitting:
+                raise ScheduleError(
+                    f"recurrence of depth {stream.recurrence_depth} does not "
+                    f"fit any recurrence engine"
+                )
+            stream_engine[stream.node_id] = fitting[0].node_id
+        elif stream.kind is StreamKind.GENERATE:
+            gens = adg.of_kind(NodeKind.GENERATE)
+            if not gens:
+                raise ScheduleError("no generate engine available")
+            stream_engine[stream.node_id] = gens[0].node_id
+        elif stream.kind is StreamKind.REGISTER:
+            regs = adg.of_kind(NodeKind.REGISTER)
+            if not regs:
+                raise ScheduleError("no register engine available")
+            stream_engine[stream.node_id] = regs[0].node_id
+        else:
+            engine_id = array_engine[stream.array]
+            engine = adg.node(engine_id)
+            if stream.indirect:
+                if isinstance(engine, SpadEngine) and not engine.indirect:
+                    engine_id = dmas[0].node_id
+                    engine = dmas[0]
+                if isinstance(engine, DmaEngine) and not engine.indirect:
+                    raise ScheduleError(
+                        f"indirect stream on {stream.array}: no indirect-"
+                        f"capable engine"
+                    )
+            stream_engine[stream.node_id] = engine_id
+
+    # ------------------------------------------------------------------
+    # Stream -> hardware port, respecting engine->port reachability.
+    # Widest streams first (hardest to place).
+    # ------------------------------------------------------------------
+    used_ports: Set[int] = set()
+    order = sorted(
+        mdfg.streams,
+        key=lambda s: (-_required_port_bytes(mdfg, s), s.node_id),
+    )
+    for stream in order:
+        engine_id = stream_engine[stream.node_id]
+        hw_port = _choose_port(mdfg, adg, stream, engine_id, used_ports)
+        if hw_port is None and stream.is_memory:
+            # Fallback: rebind the whole array to DMA and retry (a spad may
+            # simply not reach any suitable port on this topology).
+            fallback = dmas[0].node_id if dmas else None
+            if fallback is not None and engine_id != fallback:
+                engine_id = fallback
+                stream_engine[stream.node_id] = engine_id
+                schedule.placement[
+                    _array_node_id(mdfg, stream.array)
+                ] = engine_id
+                hw_port = _choose_port(mdfg, adg, stream, engine_id, used_ports)
+        if hw_port is None:
+            raise ScheduleError(
+                f"stream {stream.node_id} ({stream.kind}, "
+                f"{_required_port_bytes(mdfg, stream)}B) has no reachable port"
+            )
+        used_ports.add(hw_port)
+        schedule.placement[stream.node_id] = engine_id
+        schedule.placement[stream.port] = hw_port
+
+
+def _array_node_id(mdfg: MDFG, array: str) -> int:
+    for node in mdfg.arrays:
+        if node.array == array:
+            return node.node_id
+    raise ScheduleError(f"unknown array {array}")
+
+
+def _choose_port(
+    mdfg: MDFG,
+    adg: ADG,
+    stream: StreamNode,
+    engine_id: int,
+    used: Set[int],
+) -> Optional[int]:
+    """Smallest adequate unused hardware port reachable from the engine."""
+    needed = _required_port_bytes(mdfg, stream)
+    dfg_port = mdfg.node(stream.port)
+    to_fabric = isinstance(dfg_port, InputPortNode)
+    if to_fabric:
+        candidates = [
+            p
+            for p in adg.in_ports
+            if p.node_id not in used
+            and p.width_bytes >= needed
+            and adg.has_link(engine_id, p.node_id)
+            and (not _stream_needs_padding(mdfg, stream) or p.supports_padding)
+        ]
+    else:
+        candidates = [
+            p
+            for p in adg.out_ports
+            if p.node_id not in used
+            and p.width_bytes >= needed
+            and adg.has_link(p.node_id, engine_id)
+        ]
+    if not candidates:
+        return None
+    candidates.sort(key=lambda p: (p.width_bytes, p.node_id))
+    return candidates[0].node_id

@@ -1,0 +1,167 @@
+"""Top-level spatial scheduler: full scheduling, repair, and relaxation.
+
+`schedule_mdfg` maps one variant; `schedule_workload` walks a variant
+family most-aggressive-first and returns the best-performing variant that
+maps ("relax DFG complexity", Fig. 3).  `repair_schedule` preserves as much
+of an existing schedule as possible after a hardware mutation (the cheap
+path the DSE takes every iteration — Section V-A).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..adg import ADG, NodeKind, ProcessingElement, SystemParams
+from ..compiler import VariantSet
+from ..dfg import ComputeNode, InputPortNode, MDFG, OutputPortNode, StreamNode
+from ..model.perf import PerfEstimate, estimate_ipc
+from .binder import bind_memory
+from .placer import place_and_route
+from .router import RoutingState
+from .schedule import Schedule, ScheduleError
+
+
+def schedule_mdfg(
+    mdfg: MDFG,
+    adg: ADG,
+    params: Optional[SystemParams] = None,
+) -> Optional[Schedule]:
+    """Map ``mdfg`` onto ``adg``; returns None when unschedulable."""
+    schedule = Schedule(mdfg=mdfg, adg_version=adg.version)
+    state = RoutingState(adg)
+    try:
+        bind_memory(mdfg, adg, schedule)
+        place_and_route(mdfg, adg, schedule, state)
+    except ScheduleError:
+        return None
+    if params is not None:
+        schedule.estimate = estimate_ipc(mdfg, schedule.binding(), adg, params)
+    return schedule
+
+
+def schedule_workload(
+    variants: VariantSet,
+    adg: ADG,
+    params: SystemParams,
+) -> Optional[Schedule]:
+    """Best-performing schedulable variant of a workload (None if none).
+
+    Every variant is tried; the one with the highest estimated IPC wins.
+    This is the "relax DFG complexity" loop: aggressive variants that fail
+    to map simply lose to the less aggressive ones that succeed.
+    """
+    best: Optional[Schedule] = None
+    for mdfg in variants.variants:
+        schedule = schedule_mdfg(mdfg, adg, params)
+        if schedule is None:
+            continue
+        assert schedule.estimate is not None
+        if best is None or schedule.estimate.ipc > best.estimate.ipc:
+            best = schedule
+    return best
+
+
+# ----------------------------------------------------------------------
+# Schedule repair (Section V-A): keep what survived the ADG mutation.
+# ----------------------------------------------------------------------
+def _semantic_ok(mdfg: MDFG, adg: ADG, schedule: Schedule) -> bool:
+    """Do surviving placements still satisfy capability/width constraints?
+
+    Structural existence is checked by ``Schedule.is_valid_for``; this
+    catches parameter changes (pruned capabilities, narrowed ports, shrunk
+    scratchpads) that leave the node present but inadequate.
+    """
+    for dfg_id, hw_id in schedule.placement.items():
+        if not adg.has_node(hw_id):
+            return False
+        node = mdfg.node(dfg_id)
+        hw = adg.node(hw_id)
+        if isinstance(node, ComputeNode):
+            if not isinstance(hw, ProcessingElement):
+                return False
+            if not hw.supports(node.op, node.dtype, node.lanes):
+                return False
+        elif isinstance(node, (InputPortNode, OutputPortNode)):
+            if getattr(hw, "width_bytes", 0) < node.width_bytes:
+                return False
+    return True
+
+
+def repair_schedule(
+    schedule: Schedule,
+    adg: ADG,
+    params: SystemParams,
+) -> Optional[Schedule]:
+    """Re-validate ``schedule`` against a mutated ``adg``; repair if needed.
+
+    Strategy: if the schedule survived intact, stamp and return it.  If only
+    routes broke, keep every placement and re-route.  If placements broke,
+    fall back to a full reschedule of the same variant.
+    """
+    mdfg = schedule.mdfg
+    if schedule.is_valid_for(adg) and _semantic_ok(mdfg, adg, schedule):
+        refreshed = Schedule(
+            mdfg=mdfg,
+            adg_version=adg.version,
+            placement=dict(schedule.placement),
+            routes=dict(schedule.routes),
+            delay_fifo_needed=dict(schedule.delay_fifo_needed),
+        )
+        refreshed.estimate = estimate_ipc(
+            mdfg, refreshed.binding(), adg, params
+        )
+        return refreshed
+
+    bad_nodes, bad_edges = schedule.broken_pieces(adg)
+    if not bad_nodes and _semantic_ok(mdfg, adg, schedule):
+        repaired = _reroute_only(schedule, adg, bad_edges)
+        if repaired is not None:
+            repaired.estimate = estimate_ipc(
+                mdfg, repaired.binding(), adg, params
+            )
+            return repaired
+    return schedule_mdfg(mdfg, adg, params)
+
+
+def _reroute_only(
+    schedule: Schedule, adg: ADG, bad_edges
+) -> Optional[Schedule]:
+    """Keep all placements; recompute just the broken routes."""
+    from .router import find_route
+
+    repaired = Schedule(
+        mdfg=schedule.mdfg,
+        adg_version=adg.version,
+        placement=dict(schedule.placement),
+        routes={
+            key: path
+            for key, path in schedule.routes.items()
+            if key not in bad_edges
+        },
+        delay_fifo_needed={},
+    )
+    state = RoutingState(adg)
+    for key, path in repaired.routes.items():
+        state.claim_path(path, key[0])
+    mdfg = schedule.mdfg
+    from .placer import _value_width_bits
+
+    for key in sorted(bad_edges):
+        src_dfg, dst_dfg, _slot = key
+        src_hw = repaired.placement.get(src_dfg)
+        dst_hw = repaired.placement.get(dst_dfg)
+        if src_hw is None or dst_hw is None:
+            return None
+        width = _value_width_bits(mdfg, src_dfg)
+        path = find_route(adg, state, src_hw, dst_hw, src_dfg, width)
+        if path is None:
+            return None
+        state.claim_path(path, src_dfg)
+        repaired.routes[key] = path
+    try:
+        from .placer import _check_delay_skew
+
+        _check_delay_skew(mdfg, adg, repaired)
+    except ScheduleError:
+        return None
+    return repaired

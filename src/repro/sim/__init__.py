@@ -1,0 +1,53 @@
+"""Cycle-level simulator for generated overlays (Section VI hardware)."""
+
+from .components import (
+    BandwidthPool,
+    EngineSim,
+    FabricConfig,
+    FabricSim,
+    PortFifo,
+    StreamState,
+)
+from .dispatcher import (
+    Barrier,
+    DispatchRecord,
+    MIN_DISPATCH_LATENCY,
+    StreamCommand,
+    StreamDispatcher,
+)
+from .multiplex import (
+    MultiplexResult,
+    reconfiguration_cycles,
+    run_sequence,
+)
+from .simulator import (
+    DISPATCH_LATENCY,
+    SimResult,
+    SimulationError,
+    build_tile,
+    critical_path_depth,
+    simulate_schedule,
+)
+
+__all__ = [
+    "BandwidthPool",
+    "Barrier",
+    "DispatchRecord",
+    "MIN_DISPATCH_LATENCY",
+    "MultiplexResult",
+    "StreamCommand",
+    "StreamDispatcher",
+    "reconfiguration_cycles",
+    "run_sequence",
+    "DISPATCH_LATENCY",
+    "EngineSim",
+    "FabricConfig",
+    "FabricSim",
+    "PortFifo",
+    "SimResult",
+    "SimulationError",
+    "StreamState",
+    "build_tile",
+    "critical_path_depth",
+    "simulate_schedule",
+]

@@ -1,0 +1,98 @@
+"""The 19 evaluation workloads of Table II, grouped into three suites.
+
+Every workload is a factory function returning a fresh :class:`~repro.ir.Workload`;
+use :func:`get_workload` / :func:`get_suite` / :func:`all_workloads` for
+registry-style access.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Tuple
+
+from ..ir import Workload
+from .dsp import DSP_WORKLOADS, cholesky, fft, fir, mm, solver
+from .machsuite import (
+    MACHSUITE_WORKLOADS,
+    crs,
+    ellpack,
+    gemm,
+    stencil_2d,
+    stencil_3d,
+)
+from .vision import (
+    VISION_WORKLOADS,
+    accumulate,
+    accumulate_squared,
+    accumulate_weighted,
+    bgr2grey,
+    blur,
+    channel_extract,
+    convert_bit,
+    derivative,
+    vecmax,
+)
+
+#: Suite name -> ordered factory tuple (order matches the paper's figures).
+SUITES: Dict[str, Tuple[Callable[[], Workload], ...]] = {
+    "dsp": DSP_WORKLOADS,
+    "machsuite": MACHSUITE_WORKLOADS,
+    "vision": VISION_WORKLOADS,
+}
+
+SUITE_NAMES = tuple(SUITES)
+
+
+def get_suite(name: str) -> List[Workload]:
+    """Instantiate every workload of a suite, in figure order."""
+    try:
+        factories = SUITES[name]
+    except KeyError:
+        raise KeyError(f"unknown suite {name!r}; one of {SUITE_NAMES}") from None
+    return [f() for f in factories]
+
+
+def all_workloads() -> List[Workload]:
+    """All 19 workloads, suites in paper order (dsp, machsuite, vision)."""
+    out: List[Workload] = []
+    for name in SUITE_NAMES:
+        out.extend(get_suite(name))
+    return out
+
+
+def get_workload(name: str) -> Workload:
+    """Instantiate one workload by its Table II name."""
+    for suite in SUITES.values():
+        for factory in suite:
+            w = factory()
+            if w.name == name:
+                return w
+    known = [f().name for s in SUITES.values() for f in s]
+    raise KeyError(f"unknown workload {name!r}; known: {known}")
+
+
+__all__ = [
+    "SUITES",
+    "SUITE_NAMES",
+    "all_workloads",
+    "get_suite",
+    "get_workload",
+    "cholesky",
+    "fft",
+    "fir",
+    "solver",
+    "mm",
+    "stencil_3d",
+    "crs",
+    "gemm",
+    "stencil_2d",
+    "ellpack",
+    "channel_extract",
+    "bgr2grey",
+    "blur",
+    "accumulate",
+    "accumulate_squared",
+    "vecmax",
+    "accumulate_weighted",
+    "convert_bit",
+    "derivative",
+]

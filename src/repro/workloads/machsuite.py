@@ -1,0 +1,136 @@
+"""MachSuite workloads (per Table II of the paper).
+
+stencil-3d 34^3 i64, crs/ellpack 494-row x4 sparse f64, gemm 64^2 i64
+(blocked), stencil-2d 66^2 i64 with a 3x3 kernel.  ``crs`` and ``ellpack``
+exercise indirect streams (``x[col[j]]``); ``crs`` additionally has a
+variable-trip inner loop from the CSR row pointers.
+"""
+
+from __future__ import annotations
+
+from ..ir import F64, I64, Op, Workload, WorkloadBuilder
+
+
+def stencil_3d() -> Workload:
+    """7-point 3D stencil on a 34^3 i64 grid (32^3 interior points).
+
+    ``out = C0*in[center] + C1*(6 neighbor sum)`` — two multiplies and six
+    adds per point before vectorization.
+    """
+    wb = WorkloadBuilder("stencil-3d", suite="machsuite", dtype=I64, size_desc="34^3x8")
+    n = 34
+    inner = n - 2
+    plane = n * n
+    src = wb.array("orig", n * n * n)
+    dst = wb.array("sol", n * n * n)
+    coef = wb.array("coef", 2)
+    i = wb.loop("i", inner)
+    j = wb.loop("j", inner)
+    k = wb.loop("k", inner)
+    center = (i + 1) * plane + (j + 1) * n + (k + 1)
+    neighbors = (
+        src[center - plane]
+        + src[center + plane]
+        + src[center - n]
+        + src[center + n]
+        + src[center - 1]
+        + src[center + 1]
+    )
+    wb.assign(dst[center], coef[0] * src[center] + coef[1] * neighbors)
+    return wb.build()
+
+
+def crs() -> Workload:
+    """CSR sparse matrix-vector multiply, 494 rows, ~4 nnz per row.
+
+    The inner loop trip is row-dependent (variable), and the ``x`` gather is
+    indirect through the column-index stream — both patterns the paper calls
+    out as HLS-hostile but natively supported by the spatial ISA.
+    """
+    wb = WorkloadBuilder("crs", suite="machsuite", dtype=F64, size_desc="494x4")
+    rows = 494
+    nnz_per_row = 4
+    nnz = rows * nnz_per_row
+    val = wb.array("val", nnz)
+    col = wb.array("col", nnz, dtype=I64)
+    x = wb.array("x", rows)
+    y = wb.array("y", rows)
+    i = wb.loop("i", rows)
+    j = wb.loop("j", nnz_per_row, variable_trip=True, parallel=False)
+    wb.accumulate(y[i], val[i * nnz_per_row + j] * x[col[i * nnz_per_row + j]], op=Op.ADD)
+    return wb.build()
+
+
+def gemm() -> Workload:
+    """Blocked 64x64 i64 matrix multiply (MachSuite ``gemm-blocked``).
+
+    Tiled so each 8x8 block of ``c`` stays resident; contrast with the DSP
+    suite's untiled ``mm``.  The blocking gives ``a``/``b`` tile-local
+    general reuse that the scratchpad can capture.
+    """
+    wb = WorkloadBuilder("gemm", suite="machsuite", dtype=I64, size_desc="64^2")
+    n = 64
+    blk = 8
+    nblk = n // blk
+    a = wb.array("a", n * n)
+    b = wb.array("b", n * n)
+    c = wb.array("c", n * n)
+    jb = wb.loop("jb", nblk)
+    kb = wb.loop("kb", nblk, parallel=False)
+    i = wb.loop("i", n)
+    k = wb.loop("k", blk, parallel=False)
+    j = wb.loop("j", blk)
+    wb.accumulate(
+        c[i * n + jb * blk + j],
+        a[i * n + kb * blk + k] * b[(kb * blk + k) * n + jb * blk + j],
+        op=Op.ADD,
+    )
+    return wb.build()
+
+
+def stencil_2d() -> Workload:
+    """3x3 convolution stencil over a 66x66 i64 grid (64x64 interior).
+
+    All nine filter taps multiply a shifted window of the input; the window
+    overlap between consecutive iterations is the reuse opportunity the
+    paper's Q2 discusses (line-buffer specialization on HLS, manual unroll
+    on OverGen).
+    """
+    wb = WorkloadBuilder("stencil-2d", suite="machsuite", dtype=I64, size_desc="66^2x3^2")
+    n = 66
+    inner = n - 2
+    src = wb.array("orig", n * n)
+    dst = wb.array("sol", n * n)
+    filt = wb.array("filt", 9)
+    r = wb.loop("r", inner)
+    c = wb.loop("c", inner)
+    acc = None
+    for k1 in range(3):
+        for k2 in range(3):
+            term = filt[k1 * 3 + k2] * src[(r + k1) * n + (c + k2)]
+            acc = term if acc is None else acc + term
+    wb.assign(dst[(r + 1) * n + (c + 1)], acc)
+    return wb.build()
+
+
+def ellpack() -> Workload:
+    """ELLPACK sparse matrix-vector multiply, 494 rows x 4-wide.
+
+    Fixed-width rows (no variable trip) but still an indirect ``x`` gather.
+    The dense ``x`` vector must be replicated into every tile's scratchpad —
+    the broadcast-bandwidth limitation discussed under Q1.
+    """
+    wb = WorkloadBuilder("ellpack", suite="machsuite", dtype=F64, size_desc="494x4")
+    rows = 494
+    width = 4
+    nzval = wb.array("nzval", rows * width)
+    cols = wb.array("cols", rows * width, dtype=I64)
+    x = wb.array("x", rows)
+    y = wb.array("y", rows)
+    i = wb.loop("i", rows)
+    j = wb.loop("j", width, parallel=False)
+    wb.accumulate(y[i], nzval[i * width + j] * x[cols[i * width + j]], op=Op.ADD)
+    return wb.build()
+
+
+MACHSUITE_WORKLOADS = (stencil_3d, crs, gemm, stencil_2d, ellpack)

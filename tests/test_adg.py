@@ -1,0 +1,200 @@
+"""Tests for ADG construction, mutation, and validation."""
+
+import pytest
+
+from repro.adg import (
+    ADG,
+    AdgError,
+    FuCap,
+    NodeKind,
+    SystemParams,
+    cap_for,
+    caps_for_dtype,
+    general_overlay,
+    mesh_adg,
+    seed_for_workloads,
+    universal_caps,
+)
+from repro.ir import F64, I16, I64, Op
+from repro.workloads import get_suite
+
+
+def tiny_adg():
+    adg = ADG()
+    sw = adg.add_switch()
+    pe = adg.add_pe(caps=frozenset({FuCap(Op.ADD, False, 64)}))
+    ip = adg.add_in_port(width_bytes=8)
+    op = adg.add_out_port(width_bytes=8)
+    dma = adg.add_dma()
+    adg.add_link(dma, ip)
+    adg.add_link(ip, sw)
+    adg.add_link(sw, pe)
+    adg.add_link(pe, sw)
+    adg.add_link(sw, op)
+    adg.add_link(op, dma)
+    return adg, sw, pe, ip, op, dma
+
+
+class TestGraphBasics:
+    def test_build_and_validate(self):
+        adg, *_ = tiny_adg()
+        adg.validate()
+        assert len(adg.pes) == 1
+        assert len(adg.links()) == 6
+
+    def test_illegal_link_rejected(self):
+        adg = ADG()
+        dma = adg.add_dma()
+        pe = adg.add_pe()
+        with pytest.raises(AdgError, match="illegal link"):
+            adg.add_link(dma, pe)
+
+    def test_in_port_to_out_port_direct_rejected(self):
+        adg = ADG()
+        ip = adg.add_in_port()
+        op = adg.add_out_port()
+        with pytest.raises(AdgError):
+            adg.add_link(ip, op)
+
+    def test_remove_node_cleans_links(self):
+        adg, sw, pe, ip, *_ = tiny_adg()
+        adg.remove_node(sw)
+        assert not adg.has_node(sw)
+        assert all(sw not in (s, d) for s, d in adg.links())
+
+    def test_remove_unknown_node(self):
+        adg, *_ = tiny_adg()
+        with pytest.raises(AdgError):
+            adg.remove_node(999)
+
+    def test_replace_node_keeps_links(self):
+        adg, sw, pe, *_ = tiny_adg()
+        before = adg.links()
+        adg.replace_node(pe, width_bits=128)
+        assert adg.node(pe).width_bits == 128
+        assert adg.links() == before
+
+    def test_version_bumps_on_mutation(self):
+        adg, sw, pe, *_ = tiny_adg()
+        v = adg.version
+        adg.replace_node(pe, width_bits=256)
+        assert adg.version > v
+
+    def test_clone_is_independent(self):
+        adg, sw, pe, *_ = tiny_adg()
+        other = adg.clone()
+        other.remove_node(pe)
+        assert adg.has_node(pe)
+        assert not other.has_node(pe)
+
+    def test_radix(self):
+        adg, sw, *_ = tiny_adg()
+        assert adg.radix(sw) == 4  # ip->sw, pe->sw in; sw->pe, sw->op out
+
+
+class TestCapabilities:
+    def test_cap_for_dtype(self):
+        cap = cap_for(Op.MUL, F64)
+        assert cap.is_float and cap.bits == 64
+
+    def test_f32x2_uses_scalar_width(self):
+        from repro.ir import F32X2
+
+        assert cap_for(Op.ADD, F32X2).bits == 32
+
+    def test_int_only_op_rejects_float(self):
+        with pytest.raises(ValueError):
+            FuCap(Op.SHL, True, 32)
+
+    def test_float_only_op_rejects_int(self):
+        with pytest.raises(ValueError):
+            FuCap(Op.SQRT, False, 32)
+
+    def test_bad_width_rejected(self):
+        with pytest.raises(ValueError):
+            FuCap(Op.ADD, False, 12)
+
+    def test_caps_for_dtype_filters(self):
+        caps = caps_for_dtype(I64, (Op.ADD, Op.SQRT))
+        assert all(not c.is_float for c in caps)
+        assert len(caps) == 1  # sqrt has no integer variant
+
+    def test_universal_caps_cover_everything(self):
+        caps = universal_caps()
+        assert cap_for(Op.DIV, F64) in caps
+        assert cap_for(Op.SHL, I16) in caps
+
+    def test_pe_supports_checks_width(self):
+        from repro.adg import ProcessingElement
+
+        pe = ProcessingElement(
+            0, caps=frozenset({cap_for(Op.ADD, F64)}), width_bits=128
+        )
+        assert pe.supports(Op.ADD, F64, lanes=2)
+        assert not pe.supports(Op.ADD, F64, lanes=4)
+        assert not pe.supports(Op.MUL, F64, lanes=1)
+
+
+class TestBuilders:
+    def test_mesh_dimensions(self):
+        adg = mesh_adg(2, 3, caps=frozenset({cap_for(Op.ADD, I64)}))
+        assert len(adg.pes) == 6
+        assert len(adg.switches) == 12  # (2+1) x (3+1)
+        adg.validate()
+
+    def test_general_overlay_matches_table3(self):
+        g = general_overlay()
+        assert len(g.adg.pes) == 24
+        assert len(g.adg.switches) == 35
+        assert g.params.num_tiles == 4
+        assert g.params.l2_kib == 512
+        assert sum(p.width_bytes for p in g.adg.in_ports) == 224
+        assert sum(p.width_bytes for p in g.adg.out_ports) == 160
+        pe = g.adg.pes[0]
+        assert pe.width_bits == 512  # max vectorization width
+
+    def test_general_overlay_spad(self):
+        g = general_overlay()
+        spads = g.adg.spads
+        assert len(spads) == 1
+        assert spads[0].capacity_bytes == 32 * 1024
+        assert spads[0].indirect
+
+    def test_seed_for_workloads_covers_ops(self):
+        adg = seed_for_workloads(get_suite("dsp"))
+        adg.validate()
+        ops = {c.op for pe in adg.pes for c in pe.caps if c.is_float}
+        assert Op.MUL in ops and Op.DIV in ops
+
+    def test_memory_side_fully_connected_in_mesh(self):
+        adg = mesh_adg(1, 1, caps=frozenset({cap_for(Op.ADD, I64)}))
+        for engine in adg.engines:
+            for port in adg.in_ports:
+                assert adg.has_link(engine.node_id, port.node_id)
+
+
+class TestSystemParams:
+    def test_defaults_valid(self):
+        SystemParams()
+
+    def test_l2_banks_power_of_two(self):
+        with pytest.raises(ValueError):
+            SystemParams(l2_banks=3)
+
+    def test_tiles_positive(self):
+        with pytest.raises(ValueError):
+            SystemParams(num_tiles=0)
+
+    def test_dram_bandwidth_scales_with_channels(self):
+        one = SystemParams(dram_channels=1)
+        two = SystemParams(dram_channels=2)
+        assert two.dram_bytes_per_cycle == pytest.approx(
+            2 * one.dram_bytes_per_cycle
+        )
+
+    def test_with_params(self):
+        g = general_overlay()
+        h = g.with_params(num_tiles=2)
+        assert h.params.num_tiles == 2
+        assert g.params.num_tiles == 4
+        assert h.adg is g.adg

@@ -1,0 +1,149 @@
+"""Tests for the stream dispatcher model and temporal multiplexing."""
+
+import pytest
+
+from repro.adg import general_overlay
+from repro.compiler import generate_variants
+from repro.scheduler import schedule_workload
+from repro.sim import (
+    Barrier,
+    MIN_DISPATCH_LATENCY,
+    StreamCommand,
+    StreamDispatcher,
+    reconfiguration_cycles,
+    run_sequence,
+)
+from repro.workloads import get_workload
+
+
+def cmd(name, port="p0", engine="dma", duration=10, **params):
+    return StreamCommand(
+        name=name, engine=engine, port=port,
+        params=params or {"address": hash(name) % 1000, "length": 64},
+        duration=duration,
+    )
+
+
+class TestDispatcher:
+    def test_min_dispatch_latency(self):
+        d = StreamDispatcher()
+        record = d.issue(cmd("a"))
+        assert record.dispatch_latency == MIN_DISPATCH_LATENCY
+
+    def test_one_dispatch_per_cycle_across_ports(self):
+        d = StreamDispatcher()
+        records = [
+            d.issue(cmd(f"s{i}", port=f"p{i}", address=i, length=64))
+            for i in range(6)
+        ]
+        dispatched = [r.dispatched for r in records]
+        assert dispatched == sorted(dispatched)
+        assert len(set(dispatched)) == len(dispatched)  # <= 1/cycle
+
+    def test_port_conflict_blocks(self):
+        d = StreamDispatcher()
+        first = d.issue(cmd("a", port="p0", duration=50))
+        second = d.issue(cmd("b", port="p0", duration=5))
+        assert second.dispatched >= first.completes
+
+    def test_different_ports_overlap(self):
+        d = StreamDispatcher()
+        first = d.issue(cmd("a", port="p0", duration=50))
+        second = d.issue(cmd("b", port="p1", duration=5))
+        assert second.dispatched < first.completes  # out-of-order dispatch
+
+    def test_register_file_reuse_skips_writes(self):
+        d = StreamDispatcher()
+        a = d.issue(
+            StreamCommand("a", "dma", "p0", {"address": 1, "length": 64}, 5)
+        )
+        # Same length register: only the address write is needed.
+        b = d.issue(
+            StreamCommand("b", "dma", "p1", {"address": 2, "length": 64}, 5)
+        )
+        c = d.issue(
+            StreamCommand("c", "dma", "p2", {"address": 3, "length": 128}, 5)
+        )
+        writes_b = b.config_done - a.instantiated
+        writes_c = c.config_done - b.instantiated
+        assert writes_b == 1  # only address changed
+        assert writes_c == 2  # address + length changed
+
+    def test_full_barrier_waits_for_everything(self):
+        d = StreamDispatcher()
+        records = [d.issue(cmd(f"s{i}", port=f"p{i}", duration=30)) for i in range(3)]
+        drained = d.barrier()
+        assert drained >= max(r.completes for r in records)
+
+    def test_selective_barrier(self):
+        d = StreamDispatcher()
+        slow = d.issue(cmd("slow", port="p0", duration=100))
+        fast = d.issue(cmd("fast", port="p1", duration=5))
+        at = d.barrier(Barrier(resources=("p1",)))
+        assert at >= fast.completes
+        assert at < slow.completes
+
+    def test_run_returns_drain_cycle(self):
+        d = StreamDispatcher()
+        total = d.run([cmd("a", duration=10), Barrier(), cmd("b", duration=10)])
+        assert total >= 20
+
+    def test_dispatch_rate_near_one_when_saturated(self):
+        d = StreamDispatcher()
+        for i in range(20):
+            d.issue(
+                StreamCommand(f"s{i}", "dma", f"p{i}", {"address": i}, 100)
+            )
+        assert d.dispatch_rate() > 0.4  # 1 param write + dispatch per stream
+
+
+class TestMultiplex:
+    @pytest.fixture(scope="class")
+    def setup(self):
+        overlay = general_overlay()
+        schedules = []
+        for name in ("vecmax", "convert-bit", "accumulate"):
+            s = schedule_workload(
+                generate_variants(get_workload(name)), overlay.adg, overlay.params
+            )
+            assert s is not None
+            schedules.append(s)
+        return overlay, schedules
+
+    def test_sequence_accounts_compute_and_reconfig(self, setup):
+        overlay, schedules = setup
+        result = run_sequence(schedules, overlay)
+        assert result.switches == 3
+        assert result.compute_cycles > 0
+        assert result.reconfig_cycles == sum(
+            reconfiguration_cycles(s) for s in schedules
+        )
+
+    def test_same_kernel_twice_skips_reconfig(self, setup):
+        overlay, schedules = setup
+        result = run_sequence([schedules[0], schedules[0]], overlay)
+        assert result.switches == 1
+
+    def test_repeats_multiply_switches(self, setup):
+        overlay, schedules = setup
+        once = run_sequence(schedules, overlay, repeats=1)
+        thrice = run_sequence(schedules, overlay, repeats=3)
+        assert thrice.switches == 3 * once.switches
+
+    def test_reconfig_overhead_is_small(self, setup):
+        overlay, schedules = setup
+        result = run_sequence(schedules, overlay)
+        assert result.reconfig_overhead < 0.5
+
+    def test_reflash_alternative_is_catastrophic(self, setup):
+        overlay, schedules = setup
+        result = run_sequence(schedules, overlay)
+        freq = overlay.params.frequency_mhz
+        assert result.reflash_alternative_seconds(freq) > 1000 * result.seconds(
+            freq
+        )
+
+    def test_empty_sequence_rejected(self, setup):
+        overlay, _ = setup
+        with pytest.raises(ValueError):
+            run_sequence([], overlay)

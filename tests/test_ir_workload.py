@@ -1,0 +1,161 @@
+"""Tests for workload construction and validation."""
+
+import pytest
+
+from repro.ir import (
+    F64,
+    I16,
+    I64,
+    Op,
+    WorkloadBuilder,
+    WorkloadError,
+    dtype_from_name,
+)
+
+
+def simple_workload(**kwargs):
+    wb = WorkloadBuilder("t", suite="test", dtype=F64, **kwargs)
+    a = wb.array("a", 64)
+    b = wb.array("b", 64)
+    i = wb.loop("i", 64)
+    wb.assign(b[i], a[i] * 2)
+    return wb.build()
+
+
+class TestBuilder:
+    def test_basic_build(self):
+        w = simple_workload()
+        assert w.name == "t"
+        assert w.trip_product == 64
+        assert len(w.statements) == 1
+
+    def test_accumulate_marks_reduction(self):
+        wb = WorkloadBuilder("t", suite="test", dtype=F64)
+        a = wb.array("a", 8)
+        c = wb.array("c", 1)
+        i = wb.loop("i", 8)
+        wb.accumulate(c[0], a[i])
+        w = wb.build()
+        assert w.statements[0].is_reduction
+        assert w.statements[0].reduction_op is Op.ADD
+
+    def test_accumulate_sub_is_additive_reduction(self):
+        wb = WorkloadBuilder("t", suite="test", dtype=F64)
+        a = wb.array("a", 8)
+        c = wb.array("c", 8)
+        i = wb.loop("i", 8)
+        wb.accumulate(c[i], a[i], op=Op.SUB)
+        w = wb.build()
+        assert w.statements[0].reduction_op is Op.ADD
+        # The combined expression must contain a SUB.
+        assert Op.SUB in w.op_counts()
+
+    def test_accumulate_rejects_unsupported_op(self):
+        wb = WorkloadBuilder("t", suite="test", dtype=F64)
+        a = wb.array("a", 8)
+        c = wb.array("c", 8)
+        i = wb.loop("i", 8)
+        with pytest.raises(WorkloadError):
+            wb.accumulate(c[i], a[i], op=Op.SQRT)
+
+    def test_reads_of_undeclared_array_rejected(self):
+        from repro.ir import ArrayDecl
+
+        wb = WorkloadBuilder("t", suite="test", dtype=F64)
+        wb.array("a", 8)
+        ghost = ArrayDecl("ghost", 8)
+        i = wb.loop("i", 8)
+        wb.assign(wb._arrays[0][i], ghost[i])
+        with pytest.raises(WorkloadError, match="undeclared"):
+            wb.build()
+
+    def test_unknown_loop_var_rejected(self):
+        from repro.ir import Affine, Load
+
+        wb = WorkloadBuilder("t", suite="test", dtype=F64)
+        a = wb.array("a", 8)
+        wb.loop("i", 8)
+        bad = Load("a", Affine.of({"q": 1}))
+        wb.assign(a[0], bad)
+        with pytest.raises(WorkloadError, match="unknown loop var"):
+            wb.build()
+
+    def test_duplicate_loop_var_rejected(self):
+        wb = WorkloadBuilder("t", suite="test", dtype=F64)
+        a = wb.array("a", 8)
+        i = wb.loop("i", 8)
+        wb.loop("i", 4)
+        wb.assign(a[i], a[i])
+        with pytest.raises(WorkloadError, match="duplicate loop var"):
+            wb.build()
+
+    def test_empty_workload_rejected(self):
+        wb = WorkloadBuilder("t", suite="test", dtype=F64)
+        with pytest.raises(WorkloadError):
+            wb.build()
+
+    def test_nonpositive_trip_rejected(self):
+        wb = WorkloadBuilder("t", suite="test", dtype=F64)
+        a = wb.array("a", 8)
+        i = wb.loop("i", 0)
+        wb.assign(a[0], a[0])
+        with pytest.raises(WorkloadError, match="trip"):
+            wb.build()
+
+
+class TestWorkloadQueries:
+    def test_loop_lookup(self):
+        w = simple_workload()
+        assert w.loop("i").trip == 64
+        with pytest.raises(KeyError):
+            w.loop("zz")
+
+    def test_array_lookup_and_dtype_default(self):
+        w = simple_workload()
+        assert w.array("a").size == 64
+        assert w.array_dtype("a") is F64
+
+    def test_array_dtype_override(self):
+        wb = WorkloadBuilder("t", suite="test", dtype=F64)
+        a = wb.array("a", 8)
+        c = wb.array("col", 8, dtype=I64)
+        i = wb.loop("i", 8)
+        wb.assign(a[i], a[c[i]])
+        w = wb.build()
+        assert w.array_dtype("col") is I64
+        assert w.array_dtype("a") is F64
+
+    def test_variable_trip_effective(self):
+        wb = WorkloadBuilder("t", suite="test", dtype=F64)
+        a = wb.array("a", 64)
+        i = wb.loop("i", 8)
+        j = wb.loop("j", 8, variable_trip=True)
+        wb.assign(a[i * 8 + j], a[i * 8 + j])
+        w = wb.build()
+        assert w.loop("j").effective_trip == 4.0
+        assert w.effective_trip_product == 32.0
+        assert w.has_variable_trip
+
+    def test_memory_op_count(self):
+        w = simple_workload()
+        # one load + one store
+        assert w.memory_op_count() == 2
+
+    def test_footprint_bytes(self):
+        w = simple_workload()
+        assert w.footprint_bytes() == 2 * 64 * 8
+
+
+class TestDtypes:
+    def test_lookup_by_name(self):
+        assert dtype_from_name("i16") is I16
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            dtype_from_name("i128")
+
+    def test_f32x2_lanes(self):
+        t = dtype_from_name("f32x2")
+        assert t.bits == 64
+        assert t.scalar_bits == 32
+        assert t.bytes == 8

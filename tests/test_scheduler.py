@@ -1,0 +1,223 @@
+"""Tests for the spatial scheduler: binding, placement, routing, repair."""
+
+import pytest
+
+from repro.adg import NodeKind, general_overlay, mesh_adg, caps_for_dtype
+from repro.compiler import generate_variants, lower
+from repro.dfg import ArrayNode, ComputeNode, StreamKind
+from repro.ir import F64, I64, Op
+from repro.scheduler import (
+    RoutingState,
+    ScheduleError,
+    find_route,
+    repair_schedule,
+    schedule_mdfg,
+    schedule_workload,
+)
+from repro.workloads import all_workloads, get_workload
+
+
+@pytest.fixture(scope="module")
+def overlay():
+    return general_overlay()
+
+
+class TestRouting:
+    def test_route_exists_on_mesh(self, overlay):
+        adg = overlay.adg
+        ip = adg.in_ports[0]
+        pe = adg.pes[0]
+        state = RoutingState(adg)
+        path = find_route(adg, state, ip.node_id, pe.node_id, 0, 64)
+        assert path is not None
+        assert path[0] == ip.node_id and path[-1] == pe.node_id
+
+    def test_interior_hops_are_switches(self, overlay):
+        adg = overlay.adg
+        state = RoutingState(adg)
+        path = find_route(
+            adg, state, adg.in_ports[0].node_id, adg.pes[10].node_id, 0, 64
+        )
+        for hop in path[1:-1]:
+            assert adg.node(hop).kind is NodeKind.SWITCH
+
+    def test_link_conflict_forces_detour_or_failure(self, overlay):
+        adg = overlay.adg
+        state = RoutingState(adg)
+        src = adg.in_ports[0].node_id
+        dst = adg.pes[0].node_id
+        first = find_route(adg, state, src, dst, source_dfg=1, width_bits=64)
+        state.claim_path(first, 1)
+        second = find_route(adg, state, src, dst, source_dfg=2, width_bits=64)
+        if second is not None:
+            # A different value must not reuse the first value's links.
+            first_links = set(zip(first, first[1:]))
+            second_links = set(zip(second, second[1:]))
+            assert not (first_links & second_links)
+
+    def test_multicast_shares_links(self, overlay):
+        adg = overlay.adg
+        state = RoutingState(adg)
+        src = adg.in_ports[0].node_id
+        path = find_route(adg, state, src, adg.pes[0].node_id, 7, 64)
+        state.claim_path(path, 7)
+        again = find_route(adg, state, src, adg.pes[0].node_id, 7, 64)
+        assert again == path  # same source may reuse its own links
+
+    def test_width_blocks_narrow_switches(self):
+        adg = mesh_adg(
+            1, 1, caps=caps_for_dtype(I64, (Op.ADD,)), width_bits=64
+        )
+        state = RoutingState(adg)
+        ip = adg.in_ports[0]
+        pe = adg.pes[0]
+        wide = find_route(adg, state, ip.node_id, pe.node_id, 0, 512)
+        assert wide is None  # 512-bit value cannot cross 64-bit switches
+
+
+class TestScheduling:
+    def test_all_workloads_schedule_on_general(self, overlay):
+        for w in all_workloads():
+            s = schedule_workload(
+                generate_variants(w), overlay.adg, overlay.params
+            )
+            assert s is not None, w.name
+            assert s.estimate is not None and s.estimate.ipc > 0
+
+    def test_every_compute_node_on_distinct_pe(self, overlay):
+        mdfg = lower(get_workload("bgr2grey"), unroll=4)
+        s = schedule_mdfg(mdfg, overlay.adg, overlay.params)
+        pes = [
+            s.placement[c.node_id] for c in mdfg.compute_nodes
+        ]
+        assert len(pes) == len(set(pes))
+
+    def test_ports_not_shared(self, overlay):
+        mdfg = lower(get_workload("stencil-2d"), unroll=1)
+        s = schedule_mdfg(mdfg, overlay.adg, overlay.params)
+        assert s is not None
+        ports = [
+            s.placement[p.node_id]
+            for p in mdfg.input_ports + mdfg.output_ports
+        ]
+        assert len(ports) == len(set(ports))
+
+    def test_spad_array_lands_on_spad(self, overlay):
+        mdfg = lower(get_workload("mm"), unroll=1)
+        s = schedule_mdfg(mdfg, overlay.adg, overlay.params)
+        placed_kinds = {
+            a.array: overlay.adg.node(s.placement[a.node_id]).kind
+            for a in mdfg.arrays
+        }
+        assert NodeKind.SPAD in placed_kinds.values()
+
+    def test_capacity_respected(self):
+        # One tiny scratchpad: high-reuse arrays must spill to DMA.
+        adg = mesh_adg(
+            2,
+            2,
+            caps=caps_for_dtype(F64, (Op.ADD, Op.MUL)),
+            width_bits=512,
+            spad_specs=((256, 32, False),),
+        )
+        mdfg = lower(get_workload("mm"), unroll=1)
+        s = schedule_mdfg(mdfg, adg)
+        assert s is not None
+        spad_bytes = 0.0
+        for a in mdfg.arrays:
+            hw = adg.node(s.placement[a.node_id])
+            if hw.kind is NodeKind.SPAD:
+                spad_bytes += a.footprint_bytes
+        assert spad_bytes <= 256
+
+    def test_indirect_needs_capable_engine(self):
+        adg = mesh_adg(
+            2,
+            2,
+            caps=caps_for_dtype(F64, (Op.ADD, Op.MUL)),
+            width_bits=256,
+            spad_specs=((16384, 32, False),),
+            dma_indirect=False,
+        )
+        mdfg = lower(get_workload("ellpack"), unroll=1)
+        assert schedule_mdfg(mdfg, adg) is None
+
+    def test_recurrence_depth_enforced(self, overlay):
+        # accumulate's recurrence depth is a whole frame (16K elements):
+        # the rec-engine variant must fail, the rmw variant must map.
+        rec = lower(get_workload("accumulate"), unroll=1, use_recurrence=True)
+        assert schedule_mdfg(rec, overlay.adg) is None
+        rmw = lower(get_workload("accumulate"), unroll=1, use_recurrence=False)
+        assert schedule_mdfg(rmw, overlay.adg) is not None
+
+    def test_relaxation_picks_best_schedulable(self, overlay):
+        s = schedule_workload(
+            generate_variants(get_workload("stencil-2d")),
+            overlay.adg,
+            overlay.params,
+        )
+        assert s is not None
+        # stencil-2d at full unroll needs 9 wide ports; must have relaxed.
+        assert s.mdfg.unroll < 8
+
+    def test_missing_capability_fails(self):
+        adg = mesh_adg(
+            2, 2, caps=caps_for_dtype(I64, (Op.ADD,)), width_bits=512
+        )
+        mdfg = lower(get_workload("mm"), unroll=1)  # needs f64 mul
+        assert schedule_mdfg(mdfg, adg) is None
+
+
+class TestRepair:
+    def _scheduled(self, overlay):
+        adg = overlay.adg.clone()
+        mdfg = lower(get_workload("fir"), unroll=2, use_recurrence=False)
+        s = schedule_mdfg(mdfg, adg, overlay.params)
+        assert s is not None
+        return adg, mdfg, s
+
+    def test_noop_mutation_keeps_schedule(self, overlay):
+        adg, mdfg, s = self._scheduled(overlay)
+        #
+
+        unused_pes = [
+            p.node_id
+            for p in adg.pes
+            if p.node_id not in s.hardware_in_use()
+        ]
+        adg.remove_node(unused_pes[0])
+        repaired = repair_schedule(s, adg, overlay.params)
+        assert repaired is not None
+        assert repaired.placement == s.placement
+
+    def test_removing_used_pe_triggers_reschedule(self, overlay):
+        adg, mdfg, s = self._scheduled(overlay)
+        used_pe = next(
+            s.placement[c.node_id] for c in mdfg.compute_nodes
+        )
+        adg.remove_node(used_pe)
+        repaired = repair_schedule(s, adg, overlay.params)
+        assert repaired is not None  # plenty of spare PEs
+        assert repaired.is_valid_for(adg)
+        assert used_pe not in repaired.placement.values()
+
+    def test_capability_pruning_detected(self, overlay):
+        adg, mdfg, s = self._scheduled(overlay)
+        mul_node = next(
+            c for c in mdfg.compute_nodes if c.op is Op.MUL
+        )
+        pe_id = s.placement[mul_node.node_id]
+        from repro.adg import caps_for_dtype as cfd
+
+        adg.replace_node(pe_id, caps=cfd(F64, (Op.ADD,)))  # drop MUL
+        repaired = repair_schedule(s, adg, overlay.params)
+        assert repaired is not None
+        new_pe = repaired.placement[mul_node.node_id]
+        assert new_pe != pe_id
+
+    def test_schedule_validity_check(self, overlay):
+        adg, mdfg, s = self._scheduled(overlay)
+        assert s.is_valid_for(adg)
+        used = sorted(s.hardware_in_use())
+        adg.remove_node(used[0])
+        assert not s.is_valid_for(adg)

@@ -1,0 +1,144 @@
+"""Tests for the 19 Table II workloads."""
+
+import pytest
+
+from repro.ir import Op
+from repro.workloads import (
+    SUITE_NAMES,
+    all_workloads,
+    get_suite,
+    get_workload,
+)
+
+#: Table II of the paper: workload -> (dtype name, suite).
+TABLE2 = {
+    "cholesky": ("f64", "dsp"),
+    "fft": ("f32x2", "dsp"),
+    "fir": ("f64", "dsp"),
+    "solver": ("f64", "dsp"),
+    "mm": ("f64", "dsp"),
+    "stencil-3d": ("i64", "machsuite"),
+    "crs": ("f64", "machsuite"),
+    "gemm": ("i64", "machsuite"),
+    "stencil-2d": ("i64", "machsuite"),
+    "ellpack": ("f64", "machsuite"),
+    "channel-ext": ("i16", "vision"),
+    "bgr2grey": ("i16", "vision"),
+    "blur": ("i16", "vision"),
+    "accumulate": ("i16", "vision"),
+    "acc-sqr": ("i16", "vision"),
+    "vecmax": ("i16", "vision"),
+    "acc-weight": ("i16", "vision"),
+    "convert-bit": ("i16", "vision"),
+    "derivative": ("i16", "vision"),
+}
+
+
+class TestRegistry:
+    def test_all_19_workloads_present(self):
+        names = [w.name for w in all_workloads()]
+        assert len(names) == 19
+        assert set(names) == set(TABLE2)
+
+    def test_suite_names(self):
+        assert SUITE_NAMES == ("dsp", "machsuite", "vision")
+
+    def test_suite_sizes_match_paper(self):
+        assert len(get_suite("dsp")) == 5
+        assert len(get_suite("machsuite")) == 5
+        assert len(get_suite("vision")) == 9
+
+    def test_unknown_suite(self):
+        with pytest.raises(KeyError):
+            get_suite("audio")
+
+    def test_unknown_workload(self):
+        with pytest.raises(KeyError):
+            get_workload("quicksort")
+
+    def test_factories_return_fresh_instances(self):
+        a = get_workload("fir")
+        b = get_workload("fir")
+        assert a is not b
+        assert a.name == b.name
+
+
+@pytest.mark.parametrize("name", sorted(TABLE2))
+class TestPerWorkload:
+    def test_validates(self, name):
+        w = get_workload(name)
+        w.validate()  # must not raise
+
+    def test_dtype_matches_table2(self, name):
+        w = get_workload(name)
+        assert w.dtype.name == TABLE2[name][0]
+
+    def test_suite_matches_table2(self, name):
+        w = get_workload(name)
+        assert w.suite == TABLE2[name][1]
+
+    def test_has_work(self, name):
+        w = get_workload(name)
+        assert w.trip_product > 0
+        assert w.memory_op_count() >= 1
+
+
+class TestWorkloadCharacter:
+    """Spot-check the architectural character the paper relies on."""
+
+    def test_fir_matches_figure5_structure(self):
+        w = get_workload("fir")
+        assert [l.var for l in w.loops] == ["io", "j", "ii"]
+        assert w.statements[0].is_reduction
+
+    def test_variable_trip_workloads(self):
+        # Table IV: cholesky, crs (and solver's triangular loop) have
+        # variable trip counts.
+        for name in ("cholesky", "crs", "solver"):
+            assert get_workload(name).has_variable_trip, name
+
+    def test_fixed_trip_workloads(self):
+        for name in ("mm", "gemm", "blur", "accumulate"):
+            assert not get_workload(name).has_variable_trip, name
+
+    def test_indirect_workloads(self):
+        from repro.ir import IndirectIndex
+
+        for name in ("crs", "ellpack"):
+            w = get_workload(name)
+            assert any(
+                isinstance(idx, IndirectIndex)
+                for _, idx, _ in w.all_accesses()
+            ), name
+
+    def test_channel_extract_is_pure_data_movement(self):
+        w = get_workload("channel-ext")
+        assert w.compute_op_count() == 0
+
+    def test_blur_has_no_multiplies(self):
+        counts = get_workload("blur").op_counts()
+        assert counts.get(Op.MUL, 0) == 0
+        assert counts.get(Op.ADD, 0) == 8
+
+    def test_bgr2grey_op_mix(self):
+        counts = get_workload("bgr2grey").op_counts()
+        assert counts[Op.MUL] == 3
+        assert counts[Op.ADD] == 2
+        assert counts[Op.SHR] == 1
+
+    def test_cholesky_has_divides(self):
+        counts = get_workload("cholesky").op_counts()
+        assert counts.get(Op.DIV, 0) == 2
+
+    def test_reductions(self):
+        for name in ("mm", "gemm", "fir", "crs", "ellpack", "accumulate"):
+            w = get_workload(name)
+            assert any(s.is_reduction for s in w.statements), name
+
+    def test_vision_frame_sizes(self):
+        w = get_workload("accumulate")
+        assert w.array("src").size == 128 * 128 * 4
+
+    def test_derivative_uses_halo_frame(self):
+        w = get_workload("derivative")
+        assert w.array("src").size == 130 * 130 * 4
