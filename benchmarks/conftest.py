@@ -2,8 +2,11 @@
 
 Every benchmark regenerates one table or figure of the paper and prints a
 paper-vs-measured comparison; expensive artifacts (DSE runs, simulations)
-are memoized process-wide, so the suite shares work across benchmarks.
-Run with ``pytest benchmarks/ --benchmark-only``.
+are memoized process-wide and overlays additionally persist across
+sessions via the :mod:`repro.engine` artifact store, so a warm-cache rerun
+performs zero DSE iterations.  Run with ``pytest benchmarks/
+--benchmark-only``; the DSE-heavy modules are marked ``tier2``, so
+``-m "not tier2"`` keeps only the fast microbenchmarks.
 """
 
 from __future__ import annotations
@@ -26,3 +29,25 @@ def once(benchmark):
         return run_once(benchmark, fn, *args, **kwargs)
 
     return _run
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    """Print engine + cache hit/miss accounting at session end."""
+    from repro.harness.cache import default_cache
+    from repro.harness.experiments import peek_engine
+
+    mem = default_cache().stats()
+    terminalreporter.write_line(
+        f"repro cache (memory): {mem['entries']} entries, "
+        f"{mem['hits']} hits / {mem['misses']} misses"
+    )
+    engine = peek_engine()
+    if engine is not None:
+        terminalreporter.write_line("repro " + engine.stats.summary())
+        if engine.store is not None:
+            disk = engine.store.stats.as_dict()
+            terminalreporter.write_line(
+                f"repro artifact store ({engine.cache_dir}): "
+                f"{disk['hits']} hits / {disk['misses']} misses / "
+                f"{disk['puts']} puts"
+            )

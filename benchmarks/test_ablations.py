@@ -18,6 +18,10 @@ from repro.model.resource import AnalyticEstimator
 from repro.sim import simulate_schedule
 from repro.workloads import get_suite
 
+#: Full-DSE sweeps: deselect with -m 'not tier2' for the fast path.
+pytestmark = pytest.mark.tier2
+
+
 
 def test_ablation_spatial_memory_crossbar(once):
     """Fully connecting every engine to every port costs real area."""

@@ -5,6 +5,8 @@ controller's fixed location pulls DMA paths toward the bottom die, and the
 resulting clock is 92.87 MHz with the critical path in L2 MSHR logic.
 """
 
+import pytest
+
 from repro.adg import general_overlay
 from repro.rtl import NUM_SLRS, estimated_frequency, floorplan
 
@@ -26,6 +28,7 @@ def test_fig12_floorplan(once):
     assert plan.slr_utilization[0] >= plan.slr_utilization[NUM_SLRS - 1] - 0.05
 
 
+@pytest.mark.tier2
 def test_fig12_suite_overlay_floorplans(once):
     from repro.harness import suite_overlay
 

@@ -11,12 +11,18 @@ AutoDSE everywhere and beat it in aggregate; tuned AutoDSE beats every
 overlay class; the General overlay trails the specialized ones.
 """
 
+import pytest
+
 from repro.harness import (
     fig13_geomeans,
     fig13_overall,
     geomean,
     render_table,
 )
+
+#: Full-DSE sweeps: deselect with -m 'not tier2' for the fast path.
+pytestmark = pytest.mark.tier2
+
 
 #: Paper geomeans: suite-OG vs untuned AD, and suite-OG vs *tuned* AD.
 PAPER_GEOMEANS = {

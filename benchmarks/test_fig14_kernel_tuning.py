@@ -5,8 +5,14 @@ heavily (II fixes, line buffers, database configs) than OverGen, whose
 ISA/compiler handle variable trip counts and strided access natively.
 """
 
+import pytest
+
 from repro.harness import fig14_tuning, geomean, render_table
 from repro.hls import kernel_info
+
+#: Full-DSE sweeps: deselect with -m 'not tier2' for the fast path.
+pytestmark = pytest.mark.tier2
+
 
 
 def test_fig14_kernel_tuning(once):

@@ -7,7 +7,13 @@ toolchain costs (see TimeModel / AutoDSE cost constants), so the shape —
 one overlay DSE is far cheaper than per-kernel AutoDSE — is the claim.
 """
 
+import pytest
+
 from repro.harness import fig15_dse_time, fig15_summary, render_table
+
+#: Full-DSE sweeps: deselect with -m 'not tier2' for the fast path.
+pytestmark = pytest.mark.tier2
+
 
 PAPER_TOTALS = {"dsp": 52.6, "machsuite": 69.2, "vision": 92.8}
 

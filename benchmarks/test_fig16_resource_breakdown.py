@@ -6,7 +6,13 @@ among the biggest components at high tile counts; (b) AutoDSE designs use
 far less (mostly under ~35% LUT) since generality is not their goal.
 """
 
+import pytest
+
 from repro.harness import fig16_autodse, fig16_overlays, render_table
+
+#: Full-DSE sweeps: deselect with -m 'not tier2' for the fast path.
+pytestmark = pytest.mark.tier2
+
 
 
 def test_fig16_overlay_breakdown(once):

@@ -11,7 +11,13 @@ than duplicating instructions, so overlays keep fewer (wider) PEs; the
 exposed to it.  The other shape claims hold.
 """
 
+import pytest
+
 from repro.harness import fig17_leave_one_out, render_table
+
+#: Full-DSE sweeps: deselect with -m 'not tier2' for the fast path.
+pytestmark = pytest.mark.tier2
+
 
 
 def test_fig17_leave_one_out(once):

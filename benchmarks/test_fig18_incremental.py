@@ -5,6 +5,8 @@ general PEs/ports/network) and the tile count falls from 15 to 10, at a
 mean ~8% performance cost for the earlier workloads.
 """
 
+import pytest
+
 from repro.harness import (
     FIG18_ORDER,
     fig18_generality_cost,
@@ -12,6 +14,10 @@ from repro.harness import (
     memoized,
     render_table,
 )
+
+#: Full-DSE sweeps: deselect with -m 'not tier2' for the fast path.
+pytestmark = pytest.mark.tier2
+
 
 
 def test_fig18_incremental(once):

@@ -6,7 +6,13 @@ overlays by mean ~19% on a similar kernel set; compute-bound kernels are
 flat.
 """
 
+import pytest
+
 from repro.harness import fig19_dram_channels, geomean, render_table
+
+#: Full-DSE sweeps: deselect with -m 'not tier2' for the fast path.
+pytestmark = pytest.mark.tier2
+
 
 #: Kernels the paper calls out as benefiting (element-wise/memory bound).
 MEMORY_BOUND = (

@@ -5,10 +5,16 @@ enabled, the DSE converges faster (mean 15% less DSE time) to designs with
 1.09x better estimated IPC.
 """
 
+import pytest
+
 import statistics
 
 from repro.harness import fig20_schedule_preserving, render_series, render_table
 from repro.workloads import SUITE_NAMES
+
+#: Full-DSE sweeps: deselect with -m 'not tier2' for the fast path.
+pytestmark = pytest.mark.tier2
+
 
 
 def test_fig20_schedule_preserving(once):

@@ -8,8 +8,14 @@ quantifies reconfiguration overhead versus the reflash-per-kernel
 alternative.
 """
 
+import pytest
+
 from repro.harness import render_table, suite_overlay
 from repro.sim import run_sequence
+
+#: Full-DSE sweeps: deselect with -m 'not tier2' for the fast path.
+pytestmark = pytest.mark.tier2
+
 
 PIPELINE = ("channel-ext", "bgr2grey", "blur", "accumulate")
 

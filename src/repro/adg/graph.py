@@ -151,6 +151,21 @@ class ADG:
         other.version = self.version
         return other
 
+    def restore_counters(self, next_id: int, version: int) -> None:
+        """Pin the id allocator and edit stamp after a deserialization.
+
+        ``adg_from_dict`` recomputes ``_next_id`` as max(id)+1 and counts
+        ``version`` up from zero, but an ADG that lived through mutations
+        may hold a higher allocator (removed high ids) and edit stamp.
+        Checkpoint/resume restores both so a resumed explorer allocates the
+        same ids the uninterrupted run would."""
+        if next_id < self._next_id:
+            raise AdgError(
+                f"next_id {next_id} below live allocator {self._next_id}"
+            )
+        self._next_id = next_id
+        self.version = version
+
     # ------------------------------------------------------------------
     # Queries
     # ------------------------------------------------------------------
@@ -164,7 +179,13 @@ class ADG:
         return dst in self._out.get(src, ())
 
     def nodes(self) -> Iterator[AdgNode]:
-        return iter(self._nodes.values())
+        """Nodes in ascending id order.
+
+        Sorted (rather than insertion) order keeps float accumulations over
+        the graph bit-identical between a live ADG and its serialize
+        round-trip, which checkpoint/resume relies on.
+        """
+        return iter(self._nodes[i] for i in sorted(self._nodes))
 
     def node_ids(self) -> List[int]:
         return sorted(self._nodes)

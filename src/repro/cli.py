@@ -4,6 +4,9 @@ Commands mirror the library's main flows:
 
 * ``workloads``            — list the Table-II workloads
 * ``generate``             — run the DSE for a suite/workload set, save the design
+* ``dse``                  — like ``generate`` but through the parallel engine:
+  multi-seed worker pool (``--jobs``), persistent artifact cache
+  (``--cache-dir``), checkpoint/resume (``--resume``), JSONL metrics
 * ``inspect <design>``     — render a saved design (ASCII + resources)
 * ``map <design> <name>``  — compile+schedule a workload onto a saved design
 * ``simulate <design> <name>`` — cycle-level simulation of a mapped workload
@@ -16,6 +19,7 @@ Commands mirror the library's main flows:
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
@@ -70,6 +74,70 @@ def _cmd_generate(args: argparse.Namespace) -> int:
     print(f"modeled DSE time: {result.modeled_hours:.1f} h")
     save_sysadg(result.sysadg, args.output)
     print(f"saved design to {args.output}")
+    return 0
+
+
+def _cmd_dse(args: argparse.Namespace) -> int:
+    from .engine import DseEngine, MetricsLogger
+
+    workloads = _resolve_workloads(args.workloads)
+    seeds = (
+        [int(s) for s in args.seeds.split(",")] if args.seeds else [args.seed]
+    )
+    cache_dir = None
+    if not args.no_cache:
+        cache_dir = args.cache_dir or os.environ.get(
+            "REPRO_CACHE_DIR",
+            os.path.join(os.path.expanduser("~"), ".cache", "repro-overgen"),
+        )
+    engine = DseEngine(
+        cache_dir=cache_dir or None,
+        jobs=args.jobs,
+        metrics=MetricsLogger(args.metrics),
+        checkpoint_every=args.checkpoint_every,
+    )
+    print(
+        f"engine DSE for {len(workloads)} workload(s), seeds "
+        f"{seeds}, {args.jobs} job(s), cache "
+        f"{cache_dir or 'disabled'}"
+    )
+    res = engine.explore(
+        workloads,
+        DseConfig(iterations=args.iterations, seed=args.seed),
+        name=args.name or args.workloads,
+        seeds=seeds,
+        resume=args.resume,
+    )
+    m = res.metrics
+    if res.from_cache:
+        print(f"cache hit ({m.cache_tier}): artifact {res.key[:16]} reused, "
+              f"0 DSE iterations run")
+    else:
+        per_seed = ", ".join(
+            f"seed {o.seed}: "
+            + (f"{o.result.choice.objective:.2f}"
+               + (" (resumed)" if o.resumed else "")
+               if o.result is not None else f"CRASHED ({o.error})")
+            for o in res.outcomes
+        )
+        print(f"seed outcomes: {per_seed}")
+        print(
+            f"ran {m.iterations} iterations in {m.wall_seconds:.1f}s "
+            f"({m.iterations_per_second:.0f} it/s), acceptance "
+            f"{m.acceptance_rate:.0%}, best seed {m.best_seed}"
+        )
+        if m.crashed_seeds:
+            print(f"degraded to best-of-survivors (crashed: {m.crashed_seeds})")
+    result = res.result
+    print(result.sysadg.summary())
+    util = system_resources(result.sysadg).utilization(XCVU9P)
+    print("utilization: " + "  ".join(f"{k}={v:.0%}" for k, v in util.items()))
+    print(f"objective {res.objective:.2f}, modeled DSE time "
+          f"{result.modeled_hours:.1f} h (wall {m.wall_seconds:.1f} s)")
+    save_sysadg(result.sysadg, args.output)
+    print(f"saved design to {args.output}")
+    if args.metrics:
+        print(f"metrics stream appended to {args.metrics}")
     return 0
 
 
@@ -177,6 +245,50 @@ def build_parser() -> argparse.ArgumentParser:
     gen.add_argument("-s", "--seed", type=int, default=2)
     gen.add_argument("--name", default=None)
     gen.set_defaults(func=_cmd_generate)
+
+    dse = sub.add_parser(
+        "dse",
+        help="engine DSE: parallel multi-seed, cached, checkpoint/resume",
+    )
+    dse.add_argument(
+        "workloads",
+        help="suite name (dsp/machsuite/vision), 'all', or comma-separated names",
+    )
+    dse.add_argument("-o", "--output", default="overlay.json")
+    dse.add_argument("-n", "--iterations", type=int, default=150)
+    dse.add_argument("-s", "--seed", type=int, default=2)
+    dse.add_argument(
+        "--seeds",
+        default=None,
+        help="comma-separated annealing seeds (best-of-N); default: --seed",
+    )
+    dse.add_argument(
+        "-j", "--jobs", type=int, default=1,
+        help="worker processes for multi-seed runs",
+    )
+    dse.add_argument(
+        "--cache-dir", default=None,
+        help="persistent artifact store (default: $REPRO_CACHE_DIR or "
+             "~/.cache/repro-overgen)",
+    )
+    dse.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the persistent artifact store",
+    )
+    dse.add_argument(
+        "--resume", action="store_true",
+        help="resume interrupted seeds from their last checkpoint",
+    )
+    dse.add_argument(
+        "--checkpoint-every", type=int, default=25,
+        help="annealer iterations between checkpoints (0 disables)",
+    )
+    dse.add_argument(
+        "--metrics", default=None,
+        help="append engine events to this JSONL file",
+    )
+    dse.add_argument("--name", default=None)
+    dse.set_defaults(func=_cmd_dse)
 
     ins = sub.add_parser("inspect", help="render a saved design")
     ins.add_argument("design")

@@ -1,6 +1,14 @@
 """Unified spatial + system design-space exploration (Section V)."""
 
-from .explorer import DseConfig, DseResult, DseStats, Explorer, TimeModel, explore
+from .explorer import (
+    DseConfig,
+    DseResult,
+    DseStats,
+    Explorer,
+    ExplorerState,
+    TimeModel,
+    explore,
+)
 from .system import SystemChoice, max_tiles_that_fit, system_dse
 from .transforms import (
     RANDOM_TRANSFORMS,
@@ -17,6 +25,7 @@ __all__ = [
     "DseResult",
     "DseStats",
     "Explorer",
+    "ExplorerState",
     "RANDOM_TRANSFORMS",
     "SystemChoice",
     "TimeModel",

@@ -22,10 +22,18 @@ from __future__ import annotations
 
 import math
 import random
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass, field, replace
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
-from ..adg import ADG, NodeKind, SysADG, SystemParams, seed_for_workloads
+from ..adg import (
+    ADG,
+    NodeKind,
+    SysADG,
+    SystemParams,
+    adg_from_dict,
+    adg_to_dict,
+    seed_for_workloads,
+)
 from ..compiler import VariantSet, generate_variants
 from ..ir import Workload
 from ..model.resource import AnalyticEstimator, Resources, usable_budget
@@ -82,6 +90,30 @@ class DseStats:
 
 
 @dataclass
+class ExplorerState:
+    """Complete annealer state at an iteration boundary (checkpointable).
+
+    The accepted ADG is stored as its :mod:`repro.adg.serialize` document
+    (plus the id-allocator/edit-stamp counters the document does not carry),
+    so a checkpoint written by one process resumes bit-identically in
+    another.  Schedules reference hardware by node id and survive the
+    round trip because deserialization pins ids.
+    """
+
+    iteration: int
+    adg_doc: Dict[str, Any]
+    adg_next_id: int
+    adg_version: int
+    schedules: Dict[str, Schedule]
+    choice: "SystemChoice"
+    rng_state: Any
+    stats: DseStats
+    history: List[Tuple[int, float, float]]
+    modeled_seconds: float
+    config_fingerprint: str = ""
+
+
+@dataclass
 class DseResult:
     """Outcome of one exploration run."""
 
@@ -126,24 +158,47 @@ class Explorer:
         self.history: List[Tuple[int, float, float]] = []
 
     # ------------------------------------------------------------------
-    def run(self) -> DseResult:
+    def run(
+        self,
+        *,
+        resume: Optional[ExplorerState] = None,
+        checkpoint_every: int = 0,
+        checkpoint_sink: Optional[Callable[[ExplorerState], None]] = None,
+        on_iteration: Optional[Callable[[int, float], None]] = None,
+    ) -> DseResult:
+        """Run the annealing loop, optionally checkpointing/resuming.
+
+        ``resume`` restores a prior :class:`ExplorerState` (same workloads
+        and config) and continues from its iteration; the completed run is
+        bit-identical to one that never stopped.  Every ``checkpoint_every``
+        iterations the accepted state is passed to ``checkpoint_sink``.
+        ``on_iteration(iteration, best_objective)`` streams progress.
+        """
         cfg = self.config
         variant_sets = {
             w.name: generate_variants(w) for w in self.workloads
         }
-        self.modeled_seconds += cfg.time_model.full_compile * len(self.workloads)
+        if resume is not None:
+            best = self._restore(resume)
+            start = resume.iteration + 1
+        else:
+            self.modeled_seconds += cfg.time_model.full_compile * len(
+                self.workloads
+            )
+            adg = self._initial_adg()
+            schedules = self._schedule_all(variant_sets, adg)
+            if schedules is None:
+                raise RuntimeError("seed ADG cannot schedule all workloads")
+            choice = self._system_dse(adg, schedules)
+            if choice is None:
+                raise RuntimeError("seed ADG does not fit the FPGA")
+            best = (adg, schedules, choice)
+            self.history.append(
+                (0, self.modeled_seconds / 3600.0, choice.objective)
+            )
+            start = 1
 
-        adg = self._initial_adg()
-        schedules = self._schedule_all(variant_sets, adg)
-        if schedules is None:
-            raise RuntimeError("seed ADG cannot schedule all workloads")
-        choice = self._system_dse(adg, schedules)
-        if choice is None:
-            raise RuntimeError("seed ADG does not fit the FPGA")
-        best = (adg, schedules, choice)
-        self.history.append((0, self.modeled_seconds / 3600.0, choice.objective))
-
-        for iteration in range(1, cfg.iterations + 1):
+        for iteration in range(start, cfg.iterations + 1):
             self.stats.iterations = iteration
             candidate = self._propose(best[0], best[1])
             if candidate is None:
@@ -165,6 +220,14 @@ class Explorer:
                 )
             else:
                 self.stats.rejected_annealing += 1
+            if on_iteration is not None:
+                on_iteration(iteration, best[2].objective)
+            if (
+                checkpoint_every
+                and checkpoint_sink is not None
+                and iteration % checkpoint_every == 0
+            ):
+                checkpoint_sink(self.snapshot(iteration, best))
 
         # Final polish: full variant re-scheduling on the winning ADG.
         adg, schedules, choice = best
@@ -190,6 +253,41 @@ class Explorer:
         )
 
     # ------------------------------------------------------------------
+    def snapshot(
+        self,
+        iteration: int,
+        best: Tuple[ADG, Dict[str, Schedule], SystemChoice],
+        config_fingerprint: str = "",
+    ) -> ExplorerState:
+        """Freeze the accepted state into a self-contained checkpoint."""
+        adg, schedules, choice = best
+        return ExplorerState(
+            iteration=iteration,
+            adg_doc=adg_to_dict(adg),
+            adg_next_id=adg._next_id,
+            adg_version=adg.version,
+            schedules={k: s.clone() for k, s in schedules.items()},
+            choice=choice,
+            rng_state=self.rng.getstate(),
+            stats=replace(self.stats),
+            history=list(self.history),
+            modeled_seconds=self.modeled_seconds,
+            config_fingerprint=config_fingerprint,
+        )
+
+    def _restore(
+        self, state: ExplorerState
+    ) -> Tuple[ADG, Dict[str, Schedule], SystemChoice]:
+        """Rebuild the accepted (ADG, schedules, choice) from a checkpoint."""
+        adg = adg_from_dict(state.adg_doc)
+        adg.restore_counters(state.adg_next_id, state.adg_version)
+        self.rng.setstate(state.rng_state)
+        self.stats = replace(state.stats)
+        self.history = list(state.history)
+        self.modeled_seconds = state.modeled_seconds
+        schedules = {k: s.clone() for k, s in state.schedules.items()}
+        return adg, schedules, state.choice
+
     def _initial_adg(self) -> ADG:
         return seed_for_workloads(
             self.workloads, width_bits=self.config.seed_width_bits

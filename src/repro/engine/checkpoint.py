@@ -1,0 +1,85 @@
+"""Checkpoint persistence for interrupted DSE runs.
+
+The explorer snapshots its accepted state (:class:`repro.dse.ExplorerState`
+— the accepted ADG as its serialize-format document, schedules, RNG state,
+stats) every N iterations.  This module persists those snapshots so a
+killed or crashed run resumes from the last one instead of starting over.
+
+Checkpoints live under ``<dir>/<job_key>/seed-<seed>.ckpt``: the job key
+already encodes workloads + config + seeds, so a checkpoint can never be
+resumed against changed inputs — the changed inputs look for a different
+directory.  Writes are atomic; loads verify the embedded config
+fingerprint and treat any unreadable file as "no checkpoint".
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import shutil
+import tempfile
+from pathlib import Path
+from typing import Callable, Optional
+
+from ..dse import ExplorerState
+
+
+def save_checkpoint(path: os.PathLike, state: ExplorerState) -> None:
+    """Atomically write one explorer snapshot."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "wb") as f:
+            pickle.dump(state, f, protocol=pickle.HIGHEST_PROTOCOL)
+        os.replace(tmp, path)
+    except BaseException:
+        if os.path.exists(tmp):
+            os.unlink(tmp)
+        raise
+
+
+def load_checkpoint(
+    path: os.PathLike, expect_fingerprint: str = ""
+) -> Optional[ExplorerState]:
+    """Load a snapshot, or None if absent/corrupt/for-other-inputs."""
+    path = Path(path)
+    if not path.exists():
+        return None
+    try:
+        with open(path, "rb") as f:
+            state = pickle.load(f)
+    except Exception:
+        return None
+    if not isinstance(state, ExplorerState):
+        return None
+    if expect_fingerprint and state.config_fingerprint != expect_fingerprint:
+        return None
+    return state
+
+
+class CheckpointManager:
+    """Maps (job key, seed) to checkpoint files in one directory."""
+
+    def __init__(self, root: os.PathLike) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    def path_for(self, job_key: str, seed: int) -> Path:
+        return self.root / job_key / f"seed-{seed}.ckpt"
+
+    def save(self, job_key: str, seed: int, state: ExplorerState) -> None:
+        save_checkpoint(self.path_for(job_key, seed), state)
+
+    def load(
+        self, job_key: str, seed: int, expect_fingerprint: str = ""
+    ) -> Optional[ExplorerState]:
+        return load_checkpoint(self.path_for(job_key, seed), expect_fingerprint)
+
+    def sink_for(self, job_key: str, seed: int) -> Callable[[ExplorerState], None]:
+        path = self.path_for(job_key, seed)
+        return lambda state: save_checkpoint(path, state)
+
+    def discard(self, job_key: str) -> None:
+        """Drop every per-seed checkpoint of a completed job."""
+        shutil.rmtree(self.root / job_key, ignore_errors=True)

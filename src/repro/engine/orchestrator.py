@@ -1,0 +1,337 @@
+"""The DSE engine: parallel multi-seed orchestration over the explorer.
+
+One engine *job* is "the best overlay for this workload set under this
+config, annealed from each of these seeds".  The engine:
+
+* answers from its in-memory cache, then the persistent artifact store
+  (key = content hash of workloads + config + seeds + schema version);
+* on a miss, runs one annealer per seed — across a
+  ``ProcessPoolExecutor`` when ``jobs > 1``, serially otherwise — and
+  keeps the best objective (ties broken toward the lowest seed, so the
+  winner is independent of completion order);
+* isolates faults per seed: a crashed worker is recorded and the job
+  degrades to the best of the survivors (it only fails when *every* seed
+  fails);
+* checkpoints each seed's annealer every ``checkpoint_every`` iterations
+  and, with ``resume=True``, restarts interrupted seeds from their last
+  snapshot — bit-identical to a run that never stopped;
+* emits structured events/metrics (iterations/sec, acceptance rate,
+  cache tier, wall vs modeled time) through :class:`MetricsLogger`.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field, replace
+from time import perf_counter
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..dse import DseConfig, DseResult, Explorer
+from ..harness.cache import MemoryCache
+from ..ir import Workload
+from .checkpoint import CheckpointManager, load_checkpoint, save_checkpoint
+from .hashing import CODE_SCHEMA_VERSION, config_fingerprint, job_key
+from .metrics import EngineStats, MetricsLogger, RunMetrics
+
+#: Default checkpoint cadence (annealer iterations between snapshots).
+DEFAULT_CHECKPOINT_EVERY = 25
+
+
+class EngineError(RuntimeError):
+    """Every seed of a job failed; there is no survivor to return."""
+
+
+@dataclass
+class SeedJob:
+    """Self-contained unit of work shipped to a worker process."""
+
+    workloads: Tuple[Workload, ...]
+    config: DseConfig
+    name: str
+    seed: int
+    checkpoint_path: Optional[str] = None
+    checkpoint_every: int = 0
+    resume: bool = False
+    config_key: str = ""
+    inject_crash: bool = False   # fault-injection hook for tests
+
+
+@dataclass
+class SeedOutcome:
+    seed: int
+    result: Optional[DseResult]
+    error: Optional[str] = None
+    resumed: bool = False
+
+
+def run_seed_job(job: SeedJob) -> SeedOutcome:
+    """Run one seed's annealer (module-level so it pickles to workers)."""
+    if job.inject_crash:
+        raise RuntimeError(f"injected crash (seed {job.seed})")
+    config = replace(job.config, seed=job.seed)
+    explorer = Explorer(list(job.workloads), config, name=job.name)
+    resume_state = None
+    sink = None
+    if job.checkpoint_path:
+        if job.resume:
+            resume_state = load_checkpoint(job.checkpoint_path, job.config_key)
+        if job.checkpoint_every:
+            path = job.checkpoint_path
+            key = job.config_key
+
+            def sink(state, _path=path, _key=key):
+                state.config_fingerprint = _key
+                save_checkpoint(_path, state)
+
+    result = explorer.run(
+        resume=resume_state,
+        checkpoint_every=job.checkpoint_every,
+        checkpoint_sink=sink,
+    )
+    return SeedOutcome(
+        seed=job.seed, result=result, resumed=resume_state is not None
+    )
+
+
+@dataclass
+class EngineResult:
+    """Best-of-seeds outcome of one engine job."""
+
+    result: DseResult
+    key: str
+    from_cache: bool
+    metrics: RunMetrics
+    outcomes: List[SeedOutcome] = field(default_factory=list)
+
+    @property
+    def objective(self) -> float:
+        return self.result.choice.objective
+
+
+class DseEngine:
+    """Parallel DSE orchestrator with persistent artifact caching."""
+
+    def __init__(
+        self,
+        cache_dir: Optional[str] = None,
+        jobs: int = 1,
+        memory_cache: Optional[MemoryCache] = None,
+        metrics: Optional[MetricsLogger] = None,
+        checkpoint_every: int = DEFAULT_CHECKPOINT_EVERY,
+    ) -> None:
+        self.cache_dir = cache_dir
+        self.jobs = max(1, int(jobs))
+        self.memory = memory_cache if memory_cache is not None else MemoryCache()
+        self.metrics = metrics if metrics is not None else MetricsLogger()
+        self.checkpoint_every = checkpoint_every
+        self.stats = EngineStats()
+        if cache_dir:
+            from .store import ArtifactStore
+
+            self.store: Optional["ArtifactStore"] = ArtifactStore(cache_dir)
+            self.checkpoints: Optional[CheckpointManager] = CheckpointManager(
+                os.path.join(cache_dir, "checkpoints")
+            )
+        else:
+            self.store = None
+            self.checkpoints = None
+
+    # ------------------------------------------------------------------
+    def explore(
+        self,
+        workloads: Sequence[Workload],
+        config: Optional[DseConfig] = None,
+        name: str = "overlay",
+        seeds: Optional[Sequence[int]] = None,
+        resume: bool = False,
+        inject_crash_seeds: Sequence[int] = (),
+    ) -> EngineResult:
+        """Best-of-seeds DSE for ``workloads``, cached and fault-isolated."""
+        config = config or DseConfig()
+        seed_list = sorted(set(seeds)) if seeds else [config.seed]
+        key = job_key(workloads, config, seed_list)
+        cached, tier = self._lookup(key)
+        metrics = RunMetrics(
+            key=key,
+            name=name,
+            seeds=list(seed_list),
+            jobs=self.jobs,
+            cache_hit=cached is not None,
+            cache_tier=tier,
+        )
+        if cached is not None:
+            metrics.objective = cached.choice.objective
+            metrics.modeled_seconds = cached.modeled_seconds
+            self.metrics.emit(
+                "cache_hit", key=key, name=name, tier=tier,
+                objective=cached.choice.objective,
+            )
+            self.stats.absorb(metrics)
+            return EngineResult(
+                result=cached, key=key, from_cache=True, metrics=metrics
+            )
+
+        self.metrics.emit(
+            "run_start", key=key, name=name, seeds=list(seed_list),
+            jobs=self.jobs, iterations=config.iterations,
+            schema=CODE_SCHEMA_VERSION,
+        )
+        started = perf_counter()
+        outcomes = self._run_seeds(
+            workloads, config, name, seed_list, key, resume,
+            set(inject_crash_seeds),
+        )
+        wall = perf_counter() - started
+
+        survivors = [o for o in outcomes if o.result is not None]
+        if not survivors:
+            errors = "; ".join(f"seed {o.seed}: {o.error}" for o in outcomes)
+            self.metrics.emit("run_failed", key=key, name=name, errors=errors)
+            raise EngineError(f"all {len(outcomes)} seed workers failed: {errors}")
+        best = max(survivors, key=lambda o: (o.result.choice.objective, -o.seed))
+
+        metrics.wall_seconds = wall
+        metrics.iterations = sum(
+            o.result.stats.iterations for o in survivors
+        )
+        metrics.accepted = sum(o.result.stats.accepted for o in survivors)
+        metrics.modeled_seconds = best.result.modeled_seconds
+        metrics.objective = best.result.choice.objective
+        metrics.best_seed = best.seed
+        metrics.crashed_seeds = [o.seed for o in outcomes if o.result is None]
+        metrics.resumed_seeds = [o.seed for o in survivors if o.resumed]
+        self.stats.absorb(metrics)
+        self.metrics.emit("run_end", **metrics.as_dict())
+
+        self.memory.put(("engine", key), best.result)
+        if self.store is not None:
+            self.store.put(
+                key,
+                best.result,
+                meta={
+                    "name": name,
+                    "workloads": [w.name for w in workloads],
+                    "seeds": list(seed_list),
+                    "best_seed": best.seed,
+                    "objective": best.result.choice.objective,
+                    "iterations": config.iterations,
+                    "schema": CODE_SCHEMA_VERSION,
+                },
+            )
+        if self.checkpoints is not None:
+            self.checkpoints.discard(key)
+        return EngineResult(
+            result=best.result,
+            key=key,
+            from_cache=False,
+            metrics=metrics,
+            outcomes=outcomes,
+        )
+
+    # ------------------------------------------------------------------
+    def _lookup(self, key: str) -> Tuple[Optional[DseResult], str]:
+        hit = self.memory.get(("engine", key))
+        if hit is not None:
+            return hit, "memory"
+        if self.store is not None:
+            hit = self.store.get(key)
+            if hit is not None:
+                self.memory.put(("engine", key), hit)
+                return hit, "disk"
+        return None, "miss"
+
+    def _make_jobs(
+        self,
+        workloads: Sequence[Workload],
+        config: DseConfig,
+        name: str,
+        seeds: Sequence[int],
+        key: str,
+        resume: bool,
+        crash_seeds: set,
+    ) -> List[SeedJob]:
+        cfg_key = config_fingerprint(config)
+        jobs = []
+        for seed in seeds:
+            ckpt = (
+                str(self.checkpoints.path_for(key, seed))
+                if self.checkpoints is not None
+                else None
+            )
+            jobs.append(
+                SeedJob(
+                    workloads=tuple(workloads),
+                    config=config,
+                    name=name,
+                    seed=seed,
+                    checkpoint_path=ckpt,
+                    checkpoint_every=self.checkpoint_every if ckpt else 0,
+                    resume=resume,
+                    config_key=cfg_key,
+                    inject_crash=seed in crash_seeds,
+                )
+            )
+        return jobs
+
+    def _run_seeds(
+        self,
+        workloads: Sequence[Workload],
+        config: DseConfig,
+        name: str,
+        seeds: Sequence[int],
+        key: str,
+        resume: bool,
+        crash_seeds: set,
+    ) -> List[SeedOutcome]:
+        jobs = self._make_jobs(
+            workloads, config, name, seeds, key, resume, crash_seeds
+        )
+        if self.jobs > 1 and len(jobs) > 1:
+            try:
+                return self._run_pool(jobs)
+            except OSError:
+                # No usable multiprocessing primitives (restricted
+                # sandboxes) — degrade to the serial path.
+                self.metrics.emit("pool_unavailable", key=key)
+        return [self._run_isolated(job) for job in jobs]
+
+    def _run_pool(self, jobs: List[SeedJob]) -> List[SeedOutcome]:
+        outcomes: Dict[int, SeedOutcome] = {}
+        with ProcessPoolExecutor(
+            max_workers=min(self.jobs, len(jobs))
+        ) as pool:
+            futures = {pool.submit(run_seed_job, job): job for job in jobs}
+            for future, job in futures.items():
+                try:
+                    outcome = future.result()
+                except Exception as exc:
+                    outcome = SeedOutcome(
+                        seed=job.seed, result=None, error=str(exc)
+                    )
+                    self.metrics.emit(
+                        "seed_crashed", seed=job.seed, error=str(exc)
+                    )
+                else:
+                    self.metrics.emit(
+                        "seed_done",
+                        seed=outcome.seed,
+                        objective=outcome.result.choice.objective,
+                        resumed=outcome.resumed,
+                    )
+                outcomes[job.seed] = outcome
+        return [outcomes[job.seed] for job in jobs]
+
+    def _run_isolated(self, job: SeedJob) -> SeedOutcome:
+        try:
+            outcome = run_seed_job(job)
+        except Exception as exc:
+            self.metrics.emit("seed_crashed", seed=job.seed, error=str(exc))
+            return SeedOutcome(seed=job.seed, result=None, error=str(exc))
+        self.metrics.emit(
+            "seed_done",
+            seed=outcome.seed,
+            objective=outcome.result.choice.objective,
+            resumed=outcome.resumed,
+        )
+        return outcome

@@ -1,0 +1,124 @@
+"""Persistent content-addressed artifact store.
+
+Artifacts (``DseResult`` objects and anything picklable) live on disk under
+``<root>/<key[:2]>/<key>.pkl`` with a small JSON sidecar describing what
+produced them.  Keys come from :mod:`repro.engine.hashing`, so a key *is*
+its inputs: a changed workload body, config field, or code-schema version
+produces a different key and the old artifact is never consulted again.
+
+Writes are atomic (temp file + rename) so a killed process never leaves a
+half-written artifact behind; unreadable or corrupt entries are treated as
+misses and dropped.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pickle
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, Iterator, Optional
+
+
+@dataclass
+class StoreStats:
+    """Hit/miss accounting for one store instance."""
+
+    hits: int = 0
+    misses: int = 0
+    puts: int = 0
+    corrupt: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "puts": self.puts,
+            "corrupt": self.corrupt,
+        }
+
+
+class ArtifactStore:
+    """On-disk pickle store addressed by content hash."""
+
+    _MISSING = object()
+
+    def __init__(self, root: os.PathLike) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.stats = StoreStats()
+
+    # ------------------------------------------------------------------
+    def _path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.pkl"
+
+    def _meta_path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    def get(self, key: str, default: Any = None) -> Any:
+        path = self._path(key)
+        if not path.exists():
+            self.stats.misses += 1
+            return default
+        try:
+            with open(path, "rb") as f:
+                value = pickle.load(f)
+        except Exception:
+            # Truncated write, schema drift inside the pickle, bad disk —
+            # all equivalent to "not cached"; drop the entry.
+            self.stats.corrupt += 1
+            self.stats.misses += 1
+            self.discard(key)
+            return default
+        self.stats.hits += 1
+        return value
+
+    def put(self, key: str, value: Any, meta: Optional[Dict[str, Any]] = None) -> None:
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as f:
+                pickle.dump(value, f, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, path)
+        except BaseException:
+            if os.path.exists(tmp):
+                os.unlink(tmp)
+            raise
+        if meta is not None:
+            with open(self._meta_path(key), "w") as f:
+                json.dump(meta, f, indent=2, sort_keys=True)
+        self.stats.puts += 1
+
+    def __contains__(self, key: str) -> bool:
+        return self._path(key).exists()
+
+    def meta(self, key: str) -> Optional[Dict[str, Any]]:
+        path = self._meta_path(key)
+        if not path.exists():
+            return None
+        try:
+            with open(path) as f:
+                return json.load(f)
+        except Exception:
+            return None
+
+    def discard(self, key: str) -> None:
+        for path in (self._path(key), self._meta_path(key)):
+            try:
+                path.unlink()
+            except OSError:
+                pass
+
+    def keys(self) -> Iterator[str]:
+        for path in sorted(self.root.glob("*/*.pkl")):
+            yield path.stem
+
+    def size(self) -> int:
+        return sum(1 for _ in self.keys())
+
+    def clear(self) -> None:
+        for key in list(self.keys()):
+            self.discard(key)

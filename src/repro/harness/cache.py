@@ -1,27 +1,79 @@
-"""Process-level memoization for expensive experiment artifacts.
+"""In-process memoization for expensive experiment artifacts.
 
 Many benchmarks share the same DSE runs (the suite overlays feed Figs. 13,
 15, 16, 17, 18 and Table III).  Artifacts are cached in-process keyed by a
 stable signature, so one pytest/benchmark session runs each DSE once.
+
+The cache is an ordinary object (:class:`MemoryCache`) rather than module
+globals, so the :mod:`repro.engine` orchestrator can layer its persistent
+on-disk artifact store around the same instance.  The historical
+module-level API (``memoized`` / ``clear_cache`` / ``cache_size``) remains
+as thin shims over a process-wide default instance.
 """
 
 from __future__ import annotations
 
 from typing import Any, Callable, Dict, Tuple
 
-_CACHE: Dict[Tuple, Any] = {}
+
+class MemoryCache:
+    """Dictionary-backed artifact cache with hit/miss accounting."""
+
+    def __init__(self) -> None:
+        self._data: Dict[Tuple, Any] = {}
+        self.hits = 0
+        self.misses = 0
+
+    # ------------------------------------------------------------------
+    def memoized(self, key: Tuple, builder: Callable[[], Any]) -> Any:
+        """Return the cached artifact for ``key``, building it on first use."""
+        if key in self._data:
+            self.hits += 1
+            return self._data[key]
+        self.misses += 1
+        self._data[key] = builder()
+        return self._data[key]
+
+    def get(self, key: Tuple, default: Any = None) -> Any:
+        if key in self._data:
+            self.hits += 1
+            return self._data[key]
+        self.misses += 1
+        return default
+
+    def put(self, key: Tuple, value: Any) -> None:
+        self._data[key] = value
+
+    def __contains__(self, key: Tuple) -> bool:
+        return key in self._data
+
+    def clear(self) -> None:
+        self._data.clear()
+
+    def size(self) -> int:
+        return len(self._data)
+
+    def stats(self) -> Dict[str, int]:
+        return {"entries": len(self._data), "hits": self.hits, "misses": self.misses}
+
+
+#: Process-wide default instance behind the legacy module-level API.
+_DEFAULT = MemoryCache()
+
+
+def default_cache() -> MemoryCache:
+    """The process-wide cache shared by the harness and the engine."""
+    return _DEFAULT
 
 
 def memoized(key: Tuple, builder: Callable[[], Any]) -> Any:
     """Return the cached artifact for ``key``, building it on first use."""
-    if key not in _CACHE:
-        _CACHE[key] = builder()
-    return _CACHE[key]
+    return _DEFAULT.memoized(key, builder)
 
 
 def clear_cache() -> None:
-    _CACHE.clear()
+    _DEFAULT.clear()
 
 
 def cache_size() -> int:
-    return len(_CACHE)
+    return _DEFAULT.size()

@@ -4,19 +4,23 @@ Each ``figXX_*`` / ``tableX_*`` function returns plain data (lists of rows)
 plus helpers to render them; the benchmark suite under ``benchmarks/``
 wraps these, and ``repro.harness.report`` assembles EXPERIMENTS.md.
 
-Expensive artifacts (DSE runs, simulations) are memoized per process via
-:mod:`repro.harness.cache`.
+DSE runs go through the :mod:`repro.engine` orchestrator, which layers a
+persistent on-disk artifact store (``REPRO_CACHE_DIR``) over the in-process
+:mod:`repro.harness.cache`, so suite overlays are reused across pytest/CLI
+sessions and recomputed only when workloads, config, or seeds change.
+Cheaper artifacts (simulations, variant sets) stay memoized in process.
 """
 
 from __future__ import annotations
 
 import math
+import os
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..adg import SysADG, general_overlay
 from ..compiler import generate_variants
-from ..dse import DseConfig, DseResult, explore
+from ..dse import DseConfig, DseResult
 from ..hls import (
     AutoDseResult,
     KERNEL_INFO,
@@ -34,7 +38,7 @@ from ..model.resource import (
 from ..scheduler import Schedule, schedule_workload
 from ..sim import SimResult, simulate_schedule
 from ..workloads import SUITE_NAMES, all_workloads, get_suite, get_workload
-from .cache import memoized
+from .cache import default_cache, memoized
 from .tables import geomean
 
 #: Default DSE effort (keeps a full experiment sweep under a few minutes).
@@ -58,39 +62,75 @@ FPGA_REFLASH_S = 1.3
 #: runs from a few seeds and keeps the best objective.
 DSE_RESTART_SEEDS = (DSE_SEED, DSE_SEED + 1)
 
+_ENGINE = None
+
+
+def get_engine():
+    """The shared DSE engine behind every overlay driver.
+
+    Configured from the environment: ``REPRO_CACHE_DIR`` points the
+    persistent artifact store somewhere else (set it empty to disable
+    persistence entirely), ``REPRO_DSE_JOBS`` sets the worker-pool width.
+    The engine shares :func:`repro.harness.cache.default_cache`, so
+    ``clear_cache()`` still empties the in-process tier.
+    """
+    global _ENGINE
+    if _ENGINE is None:
+        from ..engine import DseEngine
+
+        cache_dir = os.environ.get(
+            "REPRO_CACHE_DIR",
+            os.path.join(os.path.expanduser("~"), ".cache", "repro-overgen"),
+        )
+        _ENGINE = DseEngine(
+            cache_dir=cache_dir or None,
+            jobs=int(os.environ.get("REPRO_DSE_JOBS", "1")),
+            memory_cache=default_cache(),
+        )
+    return _ENGINE
+
+
+def peek_engine():
+    """The shared engine if one was built, without building one."""
+    return _ENGINE
+
+
+def set_engine(engine):
+    """Swap the shared engine (tests); returns the previous one."""
+    global _ENGINE
+    previous = _ENGINE
+    _ENGINE = engine
+    return previous
+
 
 def _best_of_seeds(workloads, iterations: int, name: str) -> DseResult:
-    best: Optional[DseResult] = None
-    for seed in DSE_RESTART_SEEDS:
-        res = explore(
-            workloads,
-            DseConfig(iterations=iterations, seed=seed),
-            name=name,
-        )
-        if best is None or res.choice.objective > best.choice.objective:
-            best = res
-    assert best is not None
-    return best
+    return get_engine().explore(
+        workloads,
+        DseConfig(iterations=iterations, seed=DSE_SEED),
+        name=name,
+        seeds=DSE_RESTART_SEEDS,
+    ).result
+
+
+def _engine_explore(workloads, name: str, **config_kwargs) -> DseResult:
+    config = DseConfig(iterations=SUITE_DSE_ITERATIONS, seed=DSE_SEED)
+    if config_kwargs:
+        from dataclasses import replace as _replace
+
+        config = _replace(config, **config_kwargs)
+    return get_engine().explore(workloads, config, name=name).result
 
 
 def suite_overlay(suite: str, iterations: int = SUITE_DSE_ITERATIONS) -> DseResult:
     """The suite-specialized overlay (Table III column)."""
-    return memoized(
-        ("suite-og", suite, iterations, DSE_SEED),
-        lambda: _best_of_seeds(get_suite(suite), iterations, f"{suite}-OG"),
-    )
+    return _best_of_seeds(get_suite(suite), iterations, f"{suite}-OG")
 
 
 def workload_overlay(
     name: str, iterations: int = WORKLOAD_DSE_ITERATIONS
 ) -> DseResult:
     """A single-workload-specialized overlay."""
-    return memoized(
-        ("workload-og", name, iterations, DSE_SEED),
-        lambda: _best_of_seeds(
-            [get_workload(name)], iterations, f"{name}-OG"
-        ),
-    )
+    return _best_of_seeds([get_workload(name)], iterations, f"{name}-OG")
 
 
 def autodse(name: str, tuned: bool, dram_channels: int = 1) -> AutoDseResult:
@@ -357,11 +397,8 @@ class Fig17Row:
 
 def leave_one_out_overlay(suite: str, excluded: str) -> DseResult:
     workloads = [w for w in get_suite(suite) if w.name != excluded]
-    return memoized(
-        ("loo-og", suite, excluded, SUITE_DSE_ITERATIONS, DSE_SEED),
-        lambda: _best_of_seeds(
-            workloads, SUITE_DSE_ITERATIONS, f"{suite}-minus-{excluded}"
-        ),
+    return _best_of_seeds(
+        workloads, SUITE_DSE_ITERATIONS, f"{suite}-minus-{excluded}"
     )
 
 
@@ -424,14 +461,7 @@ def fig18_incremental() -> List[Fig18Row]:
     for name in FIG18_ORDER:
         current.append(get_workload(name))
         names = tuple(w.name for w in current)
-        res = memoized(
-            ("incr-og", names, DSE_SEED),
-            lambda ws=list(current): explore(
-                ws,
-                DseConfig(iterations=SUITE_DSE_ITERATIONS, seed=DSE_SEED),
-                name="+".join(names),
-            ),
-        )
+        res = _engine_explore(list(current), "+".join(names))
         est = AnalyticEstimator()
         tile_breakdown = est.tile_breakdown(res.sysadg.adg)
         tile_lut = sum(r.lut for r in tile_breakdown.values())
@@ -456,21 +486,9 @@ def fig18_generality_cost() -> float:
     overlay (paper: supporting the whole suite costs mean ~8%)."""
     rows = fig18_incremental()
     first_name = FIG18_ORDER[0]
-    first = memoized(
-        ("incr-og", (first_name,), DSE_SEED),
-        lambda: explore(
-            [get_workload(first_name)],
-            DseConfig(iterations=SUITE_DSE_ITERATIONS, seed=DSE_SEED),
-            name=first_name,
-        ),
-    )
-    final = memoized(
-        ("incr-og", tuple(FIG18_ORDER), DSE_SEED),
-        lambda: explore(
-            [get_workload(n) for n in FIG18_ORDER],
-            DseConfig(iterations=SUITE_DSE_ITERATIONS, seed=DSE_SEED),
-            name="+".join(FIG18_ORDER),
-        ),
+    first = _engine_explore([get_workload(first_name)], first_name)
+    final = _engine_explore(
+        [get_workload(n) for n in FIG18_ORDER], "+".join(FIG18_ORDER)
     )
     alone = first.choice.estimates[first_name].ipc
     shared = final.choice.estimates[first_name].ipc
@@ -543,17 +561,10 @@ class Fig20Result:
 
 def fig20_schedule_preserving(suite: str) -> Fig20Result:
     def build(preserving: bool) -> DseResult:
-        return memoized(
-            ("fig20", suite, preserving, DSE_SEED),
-            lambda: explore(
-                get_suite(suite),
-                DseConfig(
-                    iterations=SUITE_DSE_ITERATIONS,
-                    seed=DSE_SEED,
-                    schedule_preserving=preserving,
-                ),
-                name=f"{suite}-{'p' if preserving else 'np'}",
-            ),
+        return _engine_explore(
+            get_suite(suite),
+            f"{suite}-{'p' if preserving else 'np'}",
+            schedule_preserving=preserving,
         )
 
     on = build(True)

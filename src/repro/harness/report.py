@@ -303,6 +303,55 @@ def _tables_section() -> str:
     return "\n".join(lines)
 
 
+def _engine_section() -> str:
+    """DSE-engine accounting for the run that produced this report."""
+    engine = ex.peek_engine()
+    lines = ["## DSE engine — cache & run metrics", ""]
+    if engine is None:
+        lines.append(
+            "No engine runs this session (every overlay answered from the "
+            "in-process cache before the engine was built)."
+        )
+        return "\n".join(lines)
+    s = engine.stats
+    lines.append(
+        render_table(
+            ["jobs", "cache hits", "misses", "iterations run", "seeds run",
+             "crashes", "resumes", "wall", "modeled"],
+            [(
+                s.jobs, s.cache_hits, s.cache_misses, s.iterations_run,
+                s.seeds_run, s.worker_crashes, s.resumes,
+                f"{s.wall_seconds:.1f}s", f"{s.modeled_seconds / 3600:.1f}h",
+            )],
+        )
+    )
+    runs = engine.metrics.of_type("run_end")
+    if runs:
+        lines.append("")
+        lines.append(
+            render_table(
+                ["job", "seeds", "iters", "it/s", "accept", "best seed",
+                 "objective"],
+                [
+                    (r["name"], len(r["seeds"]), r["iterations"],
+                     f"{r['iterations_per_second']:.0f}",
+                     f"{r['acceptance_rate']:.0%}", r["best_seed"],
+                     f"{r['objective']:.2f}")
+                    for r in runs
+                ],
+                title="Per-job annealing runs (cache misses only):",
+            )
+        )
+    lines.append("")
+    where = engine.cache_dir or "in-memory only"
+    lines.append(
+        f"Artifact store: {where}.  A warm-cache rerun of this report "
+        "answers every overlay from the store with zero DSE iterations "
+        "(`python -m repro dse` shares the same store and keys)."
+    )
+    return "\n".join(lines)
+
+
 HEADER = """# EXPERIMENTS — paper vs measured
 
 Generated by `python -m repro.harness.report`.  Every number below is
@@ -330,6 +379,7 @@ def generate_report() -> str:
         _fig18_section(),
         _fig19_section(),
         _fig20_section(),
+        _engine_section(),
     ]
     return "\n\n".join(sections) + "\n"
 

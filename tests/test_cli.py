@@ -84,3 +84,39 @@ class TestCommands:
         )
         assert rc == 0
         assert path.exists()
+
+
+class TestDseCommand:
+    def test_dse_defaults(self):
+        args = build_parser().parse_args(["dse", "dsp"])
+        assert args.jobs == 1
+        assert args.checkpoint_every == 25
+        assert not args.resume and not args.no_cache
+
+    def test_cold_then_warm_cache(self, tmp_path, capsys):
+        cache = tmp_path / "cache"
+        argv = [
+            "dse", "vecmax", "-n", "10", "--seeds", "2,3",
+            "-o", str(tmp_path / "d.json"), "--cache-dir", str(cache),
+            "--metrics", str(tmp_path / "events.jsonl"),
+        ]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "seed outcomes" in out and "best seed" in out
+        assert (tmp_path / "d.json").exists()
+
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "cache hit (disk)" in out
+        assert "0 DSE iterations run" in out
+        lines = (tmp_path / "events.jsonl").read_text().strip().splitlines()
+        events = [json.loads(l)["event"] for l in lines]
+        assert "run_start" in events and "cache_hit" in events
+
+    def test_no_cache_runs_fresh(self, tmp_path, capsys):
+        argv = [
+            "dse", "vecmax", "-n", "8", "--no-cache",
+            "-o", str(tmp_path / "d.json"),
+        ]
+        assert main(argv) == 0
+        assert "cache disabled" in capsys.readouterr().out

@@ -1,0 +1,166 @@
+"""Checkpoint/resume: a killed DSE run resumes bit-identically."""
+
+import dataclasses
+
+import pytest
+
+from repro.adg import adg_to_dict
+from repro.dse import DseConfig, Explorer
+from repro.engine import (
+    CheckpointManager,
+    DseEngine,
+    config_fingerprint,
+    job_key,
+    load_checkpoint,
+    save_checkpoint,
+)
+from repro.workloads import get_workload
+
+
+FIR = [get_workload("fir")]
+CFG = DseConfig(iterations=36, seed=2)
+
+
+def assert_results_equal(a, b):
+    """Bit-identical DseResults (everything the trajectory determines)."""
+    assert a.choice.objective == b.choice.objective
+    assert a.choice.params == b.choice.params
+    assert a.stats == b.stats
+    assert a.history == b.history
+    assert a.modeled_seconds == b.modeled_seconds
+    assert adg_to_dict(a.sysadg.adg) == adg_to_dict(b.sysadg.adg)
+
+
+class TestExplorerResume:
+    def test_resume_matches_uninterrupted(self):
+        straight = Explorer(FIR, CFG, name="fir").run()
+
+        snaps = []
+        interrupted = Explorer(FIR, CFG, name="fir")
+        interrupted.run(checkpoint_every=12, checkpoint_sink=snaps.append)
+        assert len(snaps) == CFG.iterations // 12
+        mid = snaps[1]  # the iteration-24 snapshot, as if killed there
+        assert mid.iteration == 24
+
+        resumed = Explorer(FIR, CFG, name="fir").run(resume=mid)
+        assert_results_equal(resumed, straight)
+
+    def test_resume_after_pickle_round_trip(self, tmp_path):
+        """A snapshot that crossed a process boundary (via the checkpoint
+        file) must restore just as faithfully as a live one."""
+        straight = Explorer(FIR, CFG, name="fir").run()
+
+        snaps = []
+        Explorer(FIR, CFG, name="fir").run(
+            checkpoint_every=12, checkpoint_sink=snaps.append
+        )
+        path = tmp_path / "seed-2.ckpt"
+        save_checkpoint(path, snaps[-1])
+        loaded = load_checkpoint(path)
+        assert loaded is not None and loaded.iteration == snaps[-1].iteration
+
+        resumed = Explorer(FIR, CFG, name="fir").run(resume=loaded)
+        assert_results_equal(resumed, straight)
+
+    def test_on_iteration_streams_progress(self):
+        seen = []
+        Explorer(FIR, CFG, name="fir").run(
+            on_iteration=lambda i, obj: seen.append((i, obj))
+        )
+        # Fires once per evaluated candidate (abandoned proposals skip it).
+        indices = [i for i, _ in seen]
+        assert indices == sorted(set(indices))
+        assert indices and 1 <= indices[0] and indices[-1] <= CFG.iterations
+        assert all(obj > 0 for _, obj in seen)
+
+
+class TestCheckpointFiles:
+    def test_missing_file_is_none(self, tmp_path):
+        assert load_checkpoint(tmp_path / "nope.ckpt") is None
+
+    def test_corrupt_file_is_none(self, tmp_path):
+        path = tmp_path / "bad.ckpt"
+        path.write_bytes(b"garbage")
+        assert load_checkpoint(path) is None
+
+    def test_wrong_type_is_none(self, tmp_path):
+        import pickle
+
+        path = tmp_path / "weird.ckpt"
+        path.write_bytes(pickle.dumps({"not": "a checkpoint"}))
+        assert load_checkpoint(path) is None
+
+    def test_stale_config_fingerprint_rejected(self, tmp_path):
+        snaps = []
+        Explorer(FIR, CFG, name="fir").run(
+            checkpoint_every=12, checkpoint_sink=snaps.append
+        )
+        state = snaps[0]
+        state.config_fingerprint = config_fingerprint(CFG)
+        path = tmp_path / "seed-2.ckpt"
+        save_checkpoint(path, state)
+        assert load_checkpoint(path, config_fingerprint(CFG)) is not None
+        other = config_fingerprint(dataclasses.replace(CFG, iterations=99))
+        assert load_checkpoint(path, other) is None
+
+    def test_manager_round_trip_and_discard(self, tmp_path):
+        mgr = CheckpointManager(tmp_path)
+        snaps = []
+        Explorer(FIR, CFG, name="fir").run(
+            checkpoint_every=18, checkpoint_sink=snaps.append
+        )
+        mgr.save("k" * 64, 2, snaps[0])
+        assert mgr.load("k" * 64, 2) is not None
+        assert mgr.load("k" * 64, 3) is None
+        mgr.discard("k" * 64)
+        assert mgr.load("k" * 64, 2) is None
+
+
+class TestEngineResume:
+    def test_kill_then_resume_reaches_uninterrupted_objective(self, tmp_path):
+        """Simulate a mid-run kill: run the explorer until its checkpoint
+        sink aborts the process, leave the last snapshot where the engine
+        expects it, then ``explore(resume=True)`` — the finished job must
+        equal a run that was never interrupted."""
+        eng = DseEngine(cache_dir=str(tmp_path), checkpoint_every=12)
+        key = job_key(FIR, CFG, [CFG.seed])
+        cfg_key = config_fingerprint(CFG)
+
+        class Killed(RuntimeError):
+            pass
+
+        def killing_sink(state):
+            state.config_fingerprint = cfg_key
+            eng.checkpoints.save(key, CFG.seed, state)
+            if state.iteration >= 24:
+                raise Killed("simulated kill -9")
+
+        with pytest.raises(Killed):
+            Explorer(FIR, CFG, name="fir").run(
+                checkpoint_every=12, checkpoint_sink=killing_sink
+            )
+        assert eng.checkpoints.load(key, CFG.seed, cfg_key) is not None
+
+        res = eng.explore(FIR, CFG, name="fir", resume=True)
+        assert not res.from_cache
+        assert res.metrics.resumed_seeds == [CFG.seed]
+        assert res.outcomes[0].resumed
+
+        straight = DseEngine().explore(FIR, CFG, name="fir")
+        assert_results_equal(res.result, straight.result)
+
+    def test_completed_job_discards_checkpoints(self, tmp_path):
+        eng = DseEngine(cache_dir=str(tmp_path), checkpoint_every=12)
+        res = eng.explore(FIR, CFG, name="fir")
+        assert not res.from_cache
+        # run_seed_job checkpointed along the way; success cleaned them up.
+        assert eng.checkpoints.load(res.key, CFG.seed) is None
+        assert not (eng.checkpoints.root / res.key).exists()
+
+    def test_resume_flag_without_checkpoint_is_fresh_run(self, tmp_path):
+        eng = DseEngine(cache_dir=str(tmp_path))
+        res = eng.explore(FIR, CFG, name="fir", resume=True)
+        assert not res.from_cache
+        assert res.metrics.resumed_seeds == []
+        straight = DseEngine().explore(FIR, CFG, name="fir")
+        assert_results_equal(res.result, straight.result)
