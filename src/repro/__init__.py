@@ -16,7 +16,7 @@ Top-level convenience re-exports; see the subpackages for the full API:
 * :mod:`repro.harness` — experiment drivers for every table/figure
 """
 
-__version__ = "0.1.0"
+__version__ = "0.2.0"
 
 from .adg import general_overlay
 from .compiler import compile_workload, generate_variants

@@ -14,6 +14,14 @@ Commands mirror the library's main flows:
 * ``floorplan <design>``   — SLR floorplan + clock estimate
 * ``advise <design> <name>`` — explain fit + whether re-DSE would pay (Q5)
 * ``report``               — regenerate EXPERIMENTS.md
+* ``fuzz``                 — differential model-vs-simulator fuzzing:
+  generate random cases, check invariants, shrink failures, record them
+  in the divergence corpus
+* ``validate``             — structural invariants over the built-in
+  suite + replay of the divergence corpus
+
+Expected user errors (unknown workload names, missing files) exit with a
+clean one-line message and status 2; programming errors still traceback.
 """
 
 from __future__ import annotations
@@ -31,6 +39,17 @@ from .rtl import emit_system, estimated_frequency, floorplan
 from .scheduler import schedule_workload
 from .sim import simulate_schedule
 from .workloads import SUITE_NAMES, all_workloads, get_suite, get_workload
+
+
+class CliError(Exception):
+    """A user-facing error: printed cleanly, exit status 2."""
+
+
+def _get_workload(name: str):
+    try:
+        return get_workload(name)
+    except KeyError as exc:
+        raise CliError(str(exc.args[0]) if exc.args else str(exc)) from exc
 
 
 def _cmd_workloads(args: argparse.Namespace) -> int:
@@ -54,7 +73,7 @@ def _resolve_workloads(spec: str):
         return get_suite(spec)
     if spec == "all":
         return all_workloads()
-    return [get_workload(name) for name in spec.split(",")]
+    return [_get_workload(name) for name in spec.split(",") if name]
 
 
 def _cmd_generate(args: argparse.Namespace) -> int:
@@ -81,9 +100,17 @@ def _cmd_dse(args: argparse.Namespace) -> int:
     from .engine import DseEngine, MetricsLogger
 
     workloads = _resolve_workloads(args.workloads)
-    seeds = (
-        [int(s) for s in args.seeds.split(",")] if args.seeds else [args.seed]
-    )
+    try:
+        seeds = (
+            [int(s) for s in args.seeds.split(",")]
+            if args.seeds
+            else [args.seed]
+        )
+    except ValueError as exc:
+        raise CliError(
+            f"malformed --seeds {args.seeds!r}: expected comma-separated "
+            "integers"
+        ) from exc
     cache_dir = None
     if not args.no_cache:
         cache_dir = args.cache_dir or os.environ.get(
@@ -141,8 +168,17 @@ def _cmd_dse(args: argparse.Namespace) -> int:
     return 0
 
 
+def _load_design(path: str):
+    try:
+        return load_sysadg(path)
+    except FileNotFoundError as exc:
+        raise CliError(f"no such design file: {path}") from exc
+    except OSError as exc:
+        raise CliError(f"cannot read design file {path}: {exc}") from exc
+
+
 def _cmd_inspect(args: argparse.Namespace) -> int:
-    sysadg = load_sysadg(args.design)
+    sysadg = _load_design(args.design)
     print(render_sysadg(sysadg))
     util = system_resources(sysadg).utilization(XCVU9P)
     print("utilization: " + "  ".join(f"{k}={v:.0%}" for k, v in util.items()))
@@ -150,8 +186,8 @@ def _cmd_inspect(args: argparse.Namespace) -> int:
 
 
 def _map_workload(design_path: str, name: str):
-    sysadg = load_sysadg(design_path)
-    variants = generate_variants(get_workload(name))
+    sysadg = _load_design(design_path)
+    variants = generate_variants(_get_workload(name))
     schedule = schedule_workload(variants, sysadg.adg, sysadg.params)
     return sysadg, schedule
 
@@ -184,7 +220,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
 
 
 def _cmd_rtl(args: argparse.Namespace) -> int:
-    sysadg = load_sysadg(args.design)
+    sysadg = _load_design(args.design)
     rtl = emit_system(sysadg)
     if args.output:
         with open(args.output, "w") as f:
@@ -196,7 +232,7 @@ def _cmd_rtl(args: argparse.Namespace) -> int:
 
 
 def _cmd_floorplan(args: argparse.Namespace) -> int:
-    sysadg = load_sysadg(args.design)
+    sysadg = _load_design(args.design)
     plan = floorplan(sysadg)
     print(plan.ascii_art())
     print(f"estimated clock: {estimated_frequency(plan):.1f} MHz")
@@ -206,9 +242,9 @@ def _cmd_floorplan(args: argparse.Namespace) -> int:
 def _cmd_advise(args: argparse.Namespace) -> int:
     from .compiler import advise
 
-    sysadg = load_sysadg(args.design)
+    sysadg = _load_design(args.design)
     advice = advise(
-        get_workload(args.workload), sysadg.adg, sysadg.params
+        _get_workload(args.workload), sysadg.adg, sysadg.params
     )
     print(advice.summary())
     return 0 if advice.best_mapped is not None else 1
@@ -224,10 +260,50 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _bands(args: argparse.Namespace):
+    from dataclasses import replace
+
+    from .validate import ToleranceBands
+
+    bands = ToleranceBands().scaled(args.rel_tol)
+    if getattr(args, "abs_floor", None) is not None:
+        bands = replace(bands, abs_floor=args.abs_floor)
+    return bands
+
+
+def _cmd_fuzz(args: argparse.Namespace) -> int:
+    from .engine import MetricsLogger
+    from .validate import fuzz_run
+
+    stats = fuzz_run(
+        budget=args.budget,
+        seed=args.seed,
+        corpus_dir=args.corpus,
+        bands=_bands(args),
+        metrics=MetricsLogger(args.metrics),
+        max_mutations=args.max_mutations,
+    )
+    print(stats.render())
+    return 1 if stats.invariant_violations else 0
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    from .validate import validate_run
+
+    report = validate_run(corpus_dir=args.corpus, bands=_bands(args))
+    print(report.render())
+    return 0 if report.ok else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
+    from . import __version__
+
     parser = argparse.ArgumentParser(
         prog="repro",
         description="OverGen reproduction: domain-specific overlay generation",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {__version__}"
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -324,13 +400,67 @@ def build_parser() -> argparse.ArgumentParser:
     rep.add_argument("-o", "--output", default="EXPERIMENTS.md")
     rep.set_defaults(func=_cmd_report)
 
+    fuzz = sub.add_parser(
+        "fuzz",
+        help="differential model-vs-simulator fuzzing (generate, check, "
+             "shrink, record)",
+    )
+    fuzz.add_argument(
+        "--budget", type=int, default=100, help="number of cases to draw"
+    )
+    fuzz.add_argument("-s", "--seed", type=int, default=0)
+    fuzz.add_argument(
+        "--corpus", default=None,
+        help="divergence-corpus directory (minimal repros persist here)",
+    )
+    fuzz.add_argument(
+        "--rel-tol", type=float, default=None,
+        help="override every per-class relative tolerance (0 flags any "
+             "model/sim gap beyond the absolute floor)",
+    )
+    fuzz.add_argument(
+        "--abs-floor", type=float, default=None,
+        help="absolute cycle gap always forgiven (default 64; 0 disables)",
+    )
+    fuzz.add_argument(
+        "--max-mutations", type=int, default=6,
+        help="max random ADG mutations per case",
+    )
+    fuzz.add_argument(
+        "--metrics", default=None,
+        help="append fuzz events to this JSONL file",
+    )
+    fuzz.set_defaults(func=_cmd_fuzz)
+
+    val = sub.add_parser(
+        "validate",
+        help="structural invariants on the built-in suite + corpus replay",
+    )
+    val.add_argument(
+        "--corpus", default=None,
+        help="divergence-corpus directory to replay",
+    )
+    val.add_argument(
+        "--rel-tol", type=float, default=None,
+        help="tolerance override used when replaying corpus entries",
+    )
+    val.add_argument(
+        "--abs-floor", type=float, default=None,
+        help="absolute cycle gap always forgiven during replay",
+    )
+    val.set_defaults(func=_cmd_validate)
+
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except CliError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

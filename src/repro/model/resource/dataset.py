@@ -13,6 +13,7 @@ spaces and label them with the analytic ground-truth cost plus
 
 from __future__ import annotations
 
+import zlib
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Tuple
 
@@ -290,5 +291,8 @@ def generate_all(scale: float = 1.0, seed: int = 0) -> Dict[str, ComponentDatase
     out = {}
     for family, gen in GENERATORS.items():
         count = max(64, int(TABLE1_COUNTS[family] * scale))
-        out[family] = gen(count=count, seed=seed + hash(family) % 97)
+        # zlib.crc32 (not hash()) so the per-family seed offset survives
+        # PYTHONHASHSEED randomization across processes.
+        offset = zlib.crc32(family.encode()) % 97
+        out[family] = gen(count=count, seed=seed + offset)
     return out

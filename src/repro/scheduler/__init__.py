@@ -3,14 +3,28 @@
 from .binder import bind_memory
 from .placer import place_and_route, topo_compute_order
 from .router import RoutingState, find_route, route_distance
-from .schedule import EdgeKey, Schedule, ScheduleError
-from .spatial import repair_schedule, schedule_mdfg, schedule_workload
+from .schedule import (
+    EdgeKey,
+    Schedule,
+    ScheduleAttempt,
+    ScheduleError,
+    ScheduleFailure,
+)
+from .spatial import (
+    attempt_schedule,
+    repair_schedule,
+    schedule_mdfg,
+    schedule_workload,
+)
 
 __all__ = [
     "EdgeKey",
     "RoutingState",
     "Schedule",
+    "ScheduleAttempt",
     "ScheduleError",
+    "ScheduleFailure",
+    "attempt_schedule",
     "bind_memory",
     "find_route",
     "place_and_route",

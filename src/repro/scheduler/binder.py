@@ -94,7 +94,7 @@ def bind_memory(mdfg: MDFG, adg: ADG, schedule: Schedule) -> None:
     free_capacity = {s.node_id: float(s.capacity_bytes) for s in adg.spads}
     dmas = adg.dmas
     if not dmas and mdfg.memory_streams:
-        raise ScheduleError("no DMA engine for memory streams")
+        raise ScheduleError("no DMA engine for memory streams", stage="binding")
 
     # ------------------------------------------------------------------
     # Array -> engine decisions (streams follow their array).
@@ -112,11 +112,12 @@ def bind_memory(mdfg: MDFG, adg: ADG, schedule: Schedule) -> None:
                 free_capacity[target] -= effective_footprint(array, mdfg)
         if target is None:
             if not dmas:
-                raise ScheduleError(f"array {array.array}: no engine available")
+                raise ScheduleError(f"array {array.array}: no engine available", stage="binding")
             target = dmas[0].node_id
             if array.indirect_target and not dmas[0].indirect:
                 raise ScheduleError(
-                    f"array {array.array}: indirect access unsupported by DMA"
+                    f"array {array.array}: indirect access unsupported by DMA",
+                    stage="binding",
                 )
         array_engine[array.array] = target
         schedule.placement[array.node_id] = target
@@ -137,18 +138,19 @@ def bind_memory(mdfg: MDFG, adg: ADG, schedule: Schedule) -> None:
             if not fitting:
                 raise ScheduleError(
                     f"recurrence of depth {stream.recurrence_depth} does not "
-                    f"fit any recurrence engine"
+                    f"fit any recurrence engine",
+                    stage="binding",
                 )
             stream_engine[stream.node_id] = fitting[0].node_id
         elif stream.kind is StreamKind.GENERATE:
             gens = adg.of_kind(NodeKind.GENERATE)
             if not gens:
-                raise ScheduleError("no generate engine available")
+                raise ScheduleError("no generate engine available", stage="binding")
             stream_engine[stream.node_id] = gens[0].node_id
         elif stream.kind is StreamKind.REGISTER:
             regs = adg.of_kind(NodeKind.REGISTER)
             if not regs:
-                raise ScheduleError("no register engine available")
+                raise ScheduleError("no register engine available", stage="binding")
             stream_engine[stream.node_id] = regs[0].node_id
         else:
             engine_id = array_engine[stream.array]
@@ -160,7 +162,8 @@ def bind_memory(mdfg: MDFG, adg: ADG, schedule: Schedule) -> None:
                 if isinstance(engine, DmaEngine) and not engine.indirect:
                     raise ScheduleError(
                         f"indirect stream on {stream.array}: no indirect-"
-                        f"capable engine"
+                        f"capable engine",
+                        stage="binding",
                     )
             stream_engine[stream.node_id] = engine_id
 
@@ -190,7 +193,8 @@ def bind_memory(mdfg: MDFG, adg: ADG, schedule: Schedule) -> None:
         if hw_port is None:
             raise ScheduleError(
                 f"stream {stream.node_id} ({stream.kind}, "
-                f"{_required_port_bytes(mdfg, stream)}B) has no reachable port"
+                f"{_required_port_bytes(mdfg, stream)}B) has no reachable port",
+                stage="binding",
             )
         used_ports.add(hw_port)
         schedule.placement[stream.node_id] = engine_id
@@ -201,7 +205,7 @@ def _array_node_id(mdfg: MDFG, array: str) -> int:
     for node in mdfg.arrays:
         if node.array == array:
             return node.node_id
-    raise ScheduleError(f"unknown array {array}")
+    raise ScheduleError(f"unknown array {array}", stage="binding")
 
 
 def _choose_port(

@@ -31,7 +31,9 @@ def _value_width_bits(mdfg: MDFG, dfg_node: int) -> int:
         return node.width_bytes * 8
     if isinstance(node, OutputPortNode):
         return node.width_bytes * 8
-    raise ScheduleError(f"node {dfg_node} does not carry a fabric value")
+    raise ScheduleError(
+        f"node {dfg_node} does not carry a fabric value", stage="placement"
+    )
 
 
 def topo_compute_order(mdfg: MDFG) -> List[ComputeNode]:
@@ -98,7 +100,8 @@ def place_and_route(
         if not candidates:
             raise ScheduleError(
                 f"no PE supports {compute.op} x{compute.lanes} "
-                f"{compute.dtype.name}"
+                f"{compute.dtype.name}",
+                stage="placement",
             )
         placed = False
         for pe_id, _score in _rank_candidates(
@@ -111,7 +114,8 @@ def place_and_route(
         if not placed:
             raise ScheduleError(
                 f"could not route operands of compute {compute.node_id} "
-                f"({compute.op})"
+                f"({compute.op})",
+                stage="routing",
             )
 
     _route_output_edges(mdfg, adg, schedule, state)
@@ -156,7 +160,8 @@ def _operand_sources(mdfg, schedule, compute) -> List[Tuple[int, int, int]]:
         src_hw = schedule.placement.get(src_dfg)
         if src_hw is None:
             raise ScheduleError(
-                f"operand {src_dfg} of compute {compute.node_id} is unplaced"
+                f"operand {src_dfg} of compute {compute.node_id} is unplaced",
+                stage="placement",
             )
         out.append((src_hw, src_dfg, _value_width_bits(mdfg, src_dfg)))
     return out
@@ -185,7 +190,8 @@ def _commit_placement(mdfg, adg, schedule, state, compute, pe_id) -> None:
     if not _try_commit(mdfg, adg, schedule, state, compute, pe_id):
         raise ScheduleError(
             f"pinned placement of compute {compute.node_id} on pe{pe_id} "
-            f"cannot be routed"
+            f"cannot be routed",
+            stage="routing",
         )
 
 
@@ -199,14 +205,18 @@ def _route_output_edges(mdfg, adg, schedule, state) -> None:
     for node in mdfg.output_ports:
         hw_port = schedule.placement.get(node.node_id)
         if hw_port is None:
-            raise ScheduleError(f"output port {node.node_id} is unbound")
+            raise ScheduleError(
+                f"output port {node.node_id} is unbound", stage="placement"
+            )
         for edge in _fabric_in_edges(mdfg, node.node_id):
             if edge in schedule.routes:
                 continue
             src_dfg = edge[0]
             src_hw = schedule.placement.get(src_dfg)
             if src_hw is None:
-                raise ScheduleError(f"producer {src_dfg} unplaced")
+                raise ScheduleError(
+                    f"producer {src_dfg} unplaced", stage="placement"
+                )
             width = _value_width_bits(mdfg, src_dfg)
             path = find_route(adg, state, src_hw, hw_port, src_dfg, width)
             if path is None:
@@ -215,7 +225,8 @@ def _route_output_edges(mdfg, adg, schedule, state) -> None:
                 )
                 if path is None:
                     raise ScheduleError(
-                        f"no route from {src_hw} to output port {hw_port}"
+                        f"no route from {src_hw} to output port {hw_port}",
+                        stage="routing",
                     )
                 hw_port = path[-1]
             state.claim_path(path, src_dfg)
@@ -276,5 +287,6 @@ def _check_delay_skew(mdfg, adg, schedule) -> None:
             if skew > pe.max_delay_fifo:
                 raise ScheduleError(
                     f"operand skew {skew} exceeds pe{pe_id} delay FIFO "
-                    f"depth {pe.max_delay_fifo}"
+                    f"depth {pe.max_delay_fifo}",
+                    stage="skew",
                 )

@@ -125,4 +125,42 @@ class Schedule:
 
 
 class ScheduleError(Exception):
-    """Raised internally when a mapping step cannot be satisfied."""
+    """Raised internally when a mapping step cannot be satisfied.
+
+    ``stage`` names the mapping phase that gave up — ``"binding"`` (memory
+    streams/arrays to engines), ``"placement"`` (compute to PEs),
+    ``"routing"`` (fabric values through switches), or ``"skew"`` (operand
+    delay-FIFO depth).  Callers that want the failure as data instead of
+    control flow use :func:`repro.scheduler.attempt_schedule`, which
+    converts this exception into a :class:`ScheduleFailure`.
+    """
+
+    def __init__(self, message: str, stage: str = "schedule") -> None:
+        super().__init__(message)
+        self.stage = stage
+
+
+@dataclass(frozen=True)
+class ScheduleFailure:
+    """Why a variant did not map: a structured, raise-free diagnosis."""
+
+    stage: str                   # binding | placement | routing | skew | schedule
+    reason: str
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return f"{self.stage}: {self.reason}"
+
+
+@dataclass
+class ScheduleAttempt:
+    """Result of trying to map one mDFG variant.
+
+    Exactly one of ``schedule`` / ``failure`` is set.
+    """
+
+    schedule: Optional[Schedule] = None
+    failure: Optional[ScheduleFailure] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.schedule is not None

@@ -18,7 +18,33 @@ from ..model.perf import PerfEstimate, estimate_ipc
 from .binder import bind_memory
 from .placer import place_and_route
 from .router import RoutingState
-from .schedule import Schedule, ScheduleError
+from .schedule import Schedule, ScheduleAttempt, ScheduleError, ScheduleFailure
+
+
+def attempt_schedule(
+    mdfg: MDFG,
+    adg: ADG,
+    params: Optional[SystemParams] = None,
+) -> ScheduleAttempt:
+    """Map ``mdfg`` onto ``adg``, reporting failure as data (never raises).
+
+    On an infeasible mapping the returned attempt carries a
+    :class:`ScheduleFailure` naming the stage that gave up (binding /
+    placement / routing / skew) and the constraint it hit — what the DSE
+    logs and the over-subscription tests assert on.
+    """
+    schedule = Schedule(mdfg=mdfg, adg_version=adg.version)
+    state = RoutingState(adg)
+    try:
+        bind_memory(mdfg, adg, schedule)
+        place_and_route(mdfg, adg, schedule, state)
+    except ScheduleError as exc:
+        return ScheduleAttempt(
+            failure=ScheduleFailure(stage=exc.stage, reason=str(exc))
+        )
+    if params is not None:
+        schedule.estimate = estimate_ipc(mdfg, schedule.binding(), adg, params)
+    return ScheduleAttempt(schedule=schedule)
 
 
 def schedule_mdfg(
@@ -27,16 +53,7 @@ def schedule_mdfg(
     params: Optional[SystemParams] = None,
 ) -> Optional[Schedule]:
     """Map ``mdfg`` onto ``adg``; returns None when unschedulable."""
-    schedule = Schedule(mdfg=mdfg, adg_version=adg.version)
-    state = RoutingState(adg)
-    try:
-        bind_memory(mdfg, adg, schedule)
-        place_and_route(mdfg, adg, schedule, state)
-    except ScheduleError:
-        return None
-    if params is not None:
-        schedule.estimate = estimate_ipc(mdfg, schedule.binding(), adg, params)
-    return schedule
+    return attempt_schedule(mdfg, adg, params).schedule
 
 
 def schedule_workload(

@@ -1,0 +1,81 @@
+"""Differential model-vs-simulator validation (fuzzing, invariants, corpus).
+
+The paper justifies its DSE objective by validating the bottleneck
+performance model against cycle-level simulation; this package turns that
+one-off validation into a regression-tested property:
+
+* :mod:`generators` — seeded random affine programs + mutated ADGs,
+* :mod:`invariants` — structural checks (ADG, round-trip, schedule legality,
+  resource estimates),
+* :mod:`oracle` — the model-vs-simulator differential comparison with
+  per-bottleneck-class tolerance bands,
+* :mod:`shrinker` — greedy minimization of failing cases,
+* :mod:`corpus` — content-addressed storage of minimal repros,
+* :mod:`runner` — the ``repro fuzz`` / ``repro validate`` drivers.
+"""
+
+from .corpus import DivergenceCorpus, case_key
+from .generators import (
+    FuzzCase,
+    GeneratorError,
+    ProgramSpec,
+    StatementSpec,
+    TermSpec,
+    random_case,
+    random_program,
+)
+from .invariants import (
+    Violation,
+    check_adg,
+    check_case,
+    check_resources,
+    check_roundtrip,
+    check_schedule,
+)
+from .oracle import (
+    OracleResult,
+    ToleranceBands,
+    classify_bottleneck,
+    run_oracle,
+)
+from .runner import (
+    Failure,
+    FuzzStats,
+    ValidateReport,
+    failure_key_of,
+    fuzz_run,
+    make_failure_key,
+    validate_run,
+)
+from .shrinker import ShrinkResult, shrink
+
+__all__ = [
+    "DivergenceCorpus",
+    "Failure",
+    "FuzzCase",
+    "FuzzStats",
+    "GeneratorError",
+    "OracleResult",
+    "ProgramSpec",
+    "ShrinkResult",
+    "StatementSpec",
+    "TermSpec",
+    "ToleranceBands",
+    "ValidateReport",
+    "Violation",
+    "case_key",
+    "check_adg",
+    "check_case",
+    "check_resources",
+    "check_roundtrip",
+    "check_schedule",
+    "classify_bottleneck",
+    "failure_key_of",
+    "fuzz_run",
+    "make_failure_key",
+    "random_case",
+    "random_program",
+    "run_oracle",
+    "shrink",
+    "validate_run",
+]

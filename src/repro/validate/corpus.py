@@ -1,0 +1,81 @@
+"""The divergence corpus: minimal repros persisted through engine.store.
+
+Every shrunk failing case is stored as a plain-JSON document under its
+content fingerprint, so:
+
+* the same divergence found twice (or by two seeds) occupies one entry,
+* ``repro validate`` replays the corpus deterministically, and
+* corpus files are diffable artifacts a human can read.
+
+Entries carry the failure key and oracle summary in the artifact metadata
+sidecar — deliberately without timestamps, so back-to-back runs with the
+same seed produce byte-identical stores.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from ..engine.hashing import fingerprint
+from ..engine.store import ArtifactStore
+from .generators import FuzzCase
+
+#: Storage schema version for corpus entries.
+CORPUS_VERSION = 1
+
+
+def case_key(case: FuzzCase) -> str:
+    """Content fingerprint of a case (origin excluded: two seeds finding
+    the same minimal repro should deduplicate)."""
+    doc = case.to_dict()
+    doc.pop("origin", None)
+    return fingerprint({"corpus_version": CORPUS_VERSION, "case": doc})
+
+
+class DivergenceCorpus:
+    """A directory of minimal failing cases, content-addressed."""
+
+    def __init__(self, root) -> None:
+        self.store = ArtifactStore(root)
+
+    # ------------------------------------------------------------------
+    def add(
+        self,
+        case: FuzzCase,
+        failure_key: str,
+        summary: Optional[Dict] = None,
+    ) -> Tuple[str, bool]:
+        """Record a minimal repro; returns (key, was_new)."""
+        key = case_key(case)
+        if key in self.store:
+            return key, False
+        self.store.put(
+            key,
+            {"corpus_version": CORPUS_VERSION, "case": case.to_dict()},
+            meta={
+                "kind": "divergence-case",
+                "failure_key": failure_key,
+                "summary": dict(summary or {}),
+            },
+        )
+        return key, True
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.store.keys())
+
+    def __contains__(self, key: str) -> bool:
+        return key in self.store
+
+    def entries(self) -> Iterator[Tuple[str, FuzzCase, Dict]]:
+        """(key, case, meta) for every stored repro, key-sorted."""
+        for key in sorted(self.store.keys()):
+            doc = self.store.get(key)
+            if not isinstance(doc, dict) or "case" not in doc:
+                continue
+            meta = self.store.meta(key) or {}
+            yield key, FuzzCase.from_dict(doc["case"]), meta
+
+    def failure_keys(self) -> List[str]:
+        return [
+            (meta.get("failure_key") or "?") for _, _, meta in self.entries()
+        ]

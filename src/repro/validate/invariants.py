@@ -1,0 +1,181 @@
+"""Invariant checker suite.
+
+Each checker inspects one structural property the rest of the stack relies
+on and returns a list of :class:`Violation` records (empty = clean):
+
+* :func:`check_adg` — the architecture graph passes its own
+  well-formedness validation.
+* :func:`check_roundtrip` — serialize → deserialize → serialize is the
+  identity on the document form (what the DSE cache and the divergence
+  corpus both depend on).
+* :func:`check_schedule` — placement/routing consistency: route endpoints
+  sit on the placed hardware, every hop is a real link, interior hops are
+  switches, links carry one value each, dedicated PEs and ports are
+  exclusive.
+* :func:`check_resources` — the analytic resource estimate is finite and
+  non-negative in every column.
+
+:func:`check_case` bundles them for one fuzz case; the fuzz runner and
+``repro validate`` both call into it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional
+
+from ..adg import ADG, AdgError, NodeKind, adg_from_dict, adg_to_dict
+from ..model.resource import AnalyticEstimator
+from ..scheduler.schedule import Schedule
+
+#: Hardware kinds a schedule may claim exclusively (one DFG node each).
+_EXCLUSIVE_KINDS = (NodeKind.PE,)
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One failed invariant."""
+
+    invariant: str               # "adg" | "roundtrip" | "schedule" | "resources"
+    detail: str
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return f"[{self.invariant}] {self.detail}"
+
+
+# ----------------------------------------------------------------------
+# Individual checkers
+# ----------------------------------------------------------------------
+def check_adg(adg: ADG) -> List[Violation]:
+    """The graph satisfies its own structural validation."""
+    try:
+        adg.validate()
+    except AdgError as exc:
+        return [Violation("adg", str(exc))]
+    return []
+
+
+def check_roundtrip(adg: ADG) -> List[Violation]:
+    """serialize ∘ deserialize is the identity on the document form."""
+    try:
+        doc = adg_to_dict(adg)
+        again = adg_to_dict(adg_from_dict(doc))
+    except (AdgError, KeyError, TypeError, ValueError) as exc:
+        return [Violation("roundtrip", f"serialization failed: {exc}")]
+    if doc != again:
+        return [Violation("roundtrip", "adg_to_dict(adg_from_dict(d)) != d")]
+    return []
+
+
+def check_schedule(schedule: Schedule, adg: ADG) -> List[Violation]:
+    """Placement/routing consistency of a schedule against its ADG."""
+    out: List[Violation] = []
+    for dfg_id, hw in schedule.placement.items():
+        if not adg.has_node(hw):
+            out.append(
+                Violation(
+                    "schedule", f"dfg node {dfg_id} placed on missing hw {hw}"
+                )
+            )
+    link_owner: Dict[Any, int] = {}
+    for (src_dfg, dst_dfg, slot), path in schedule.routes.items():
+        if not path:
+            out.append(
+                Violation("schedule", f"empty route for edge {src_dfg}->{dst_dfg}")
+            )
+            continue
+        if schedule.placement.get(src_dfg) != path[0]:
+            out.append(
+                Violation(
+                    "schedule",
+                    f"route {src_dfg}->{dst_dfg}#{slot} starts at {path[0]}, "
+                    f"src placed on {schedule.placement.get(src_dfg)}",
+                )
+            )
+        if schedule.placement.get(dst_dfg) != path[-1]:
+            out.append(
+                Violation(
+                    "schedule",
+                    f"route {src_dfg}->{dst_dfg}#{slot} ends at {path[-1]}, "
+                    f"dst placed on {schedule.placement.get(dst_dfg)}",
+                )
+            )
+        for a, b in zip(path, path[1:]):
+            if not adg.has_link(a, b):
+                out.append(
+                    Violation(
+                        "schedule",
+                        f"route {src_dfg}->{dst_dfg}#{slot} uses missing "
+                        f"link {a}->{b}",
+                    )
+                )
+        for hop in path[1:-1]:
+            if not adg.has_node(hop) or adg.node(hop).kind is not NodeKind.SWITCH:
+                out.append(
+                    Violation(
+                        "schedule",
+                        f"route {src_dfg}->{dst_dfg}#{slot} interior hop "
+                        f"{hop} is not a switch",
+                    )
+                )
+        # One value per physical link (the same source value may fan out).
+        for link in zip(path, path[1:]):
+            owner = link_owner.setdefault(link, src_dfg)
+            if owner != src_dfg:
+                out.append(
+                    Violation(
+                        "schedule",
+                        f"link {link[0]}->{link[1]} carries values from both "
+                        f"dfg nodes {owner} and {src_dfg}",
+                    )
+                )
+    # Dedicated hardware exclusivity.
+    claimed: Dict[int, int] = {}
+    for dfg_id, hw in schedule.placement.items():
+        if not adg.has_node(hw):
+            continue
+        if adg.node(hw).kind in _EXCLUSIVE_KINDS:
+            prev = claimed.setdefault(hw, dfg_id)
+            if prev != dfg_id:
+                out.append(
+                    Violation(
+                        "schedule",
+                        f"PE {hw} claimed by dfg nodes {prev} and {dfg_id}",
+                    )
+                )
+    return out
+
+
+def check_resources(adg: ADG) -> List[Violation]:
+    """The analytic per-tile resource estimate is finite and non-negative."""
+    try:
+        res = AnalyticEstimator().tile(adg)
+    except Exception as exc:  # estimator crash is itself a violation
+        return [Violation("resources", f"estimator raised: {exc}")]
+    out: List[Violation] = []
+    for column in ("lut", "ff", "bram", "dsp"):
+        value = getattr(res, column)
+        if not (value >= 0) or value != value or value == float("inf"):
+            out.append(
+                Violation("resources", f"{column} estimate is {value!r}")
+            )
+    return out
+
+
+# ----------------------------------------------------------------------
+# Bundled entry point
+# ----------------------------------------------------------------------
+def check_case(
+    adg: ADG, schedule: Optional[Schedule] = None
+) -> List[Violation]:
+    """All structural invariants for one case.
+
+    ``schedule`` may be None (unschedulable cases still get their ADG
+    checked).
+    """
+    out = check_adg(adg)
+    out += check_roundtrip(adg)
+    out += check_resources(adg)
+    if schedule is not None:
+        out += check_schedule(schedule, adg)
+    return out

@@ -1,0 +1,313 @@
+"""Fuzz and validation drivers behind ``repro fuzz`` / ``repro validate``.
+
+:func:`fuzz_run` draws ``budget`` cases from a seed, pushes each through
+the differential oracle and the invariant checkers, shrinks every failure
+to a minimal repro, records it in the divergence corpus, and aggregates
+:class:`FuzzStats` (max/mean relative error and pass rate per bottleneck
+class).  All randomness derives from the seed; the rendered report
+contains no wall-clock values, so identical seeds reproduce identical
+output byte for byte.
+
+:func:`validate_run` is the regression side: structural invariants over
+the built-in workload suite mapped on the shared overlay, plus a replay
+of every corpus entry (reporting which minimal repros still reproduce).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..engine.metrics import MetricsLogger
+from .corpus import DivergenceCorpus
+from .generators import FuzzCase, GeneratorError, random_case
+from .invariants import Violation, check_case
+from .oracle import OracleResult, ToleranceBands, run_oracle
+from .shrinker import shrink
+
+#: Aggregated per-bottleneck-class accuracy.
+@dataclass
+class ClassStats:
+    cases: int = 0
+    passed: int = 0
+    max_rel_error: float = 0.0
+    _rel_error_sum: float = 0.0
+
+    def record(self, rel_error: float, passed: bool) -> None:
+        self.cases += 1
+        self.passed += int(passed)
+        self.max_rel_error = max(self.max_rel_error, rel_error)
+        self._rel_error_sum += rel_error
+
+    @property
+    def mean_rel_error(self) -> float:
+        return self._rel_error_sum / self.cases if self.cases else 0.0
+
+    @property
+    def pass_rate(self) -> float:
+        return self.passed / self.cases if self.cases else 1.0
+
+
+@dataclass
+class Failure:
+    """One failing case, after shrinking."""
+
+    failure_key: str
+    case: FuzzCase
+    corpus_key: str = ""
+    was_new: bool = False
+    shrink_steps: int = 0
+    violations: List[str] = field(default_factory=list)
+    summary: Dict = field(default_factory=dict)
+
+
+@dataclass
+class FuzzStats:
+    """Everything one fuzz run learned."""
+
+    budget: int
+    seed: int
+    outcomes: Dict[str, int] = field(default_factory=dict)
+    by_class: Dict[str, ClassStats] = field(default_factory=dict)
+    invariant_violations: int = 0
+    failures: List[Failure] = field(default_factory=list)
+
+    def count(self, outcome: str) -> None:
+        self.outcomes[outcome] = self.outcomes.get(outcome, 0) + 1
+
+    @property
+    def compared(self) -> int:
+        return self.outcomes.get("ok", 0) + self.outcomes.get("divergence", 0)
+
+    def stats_doc(self) -> Dict:
+        return {
+            "budget": self.budget,
+            "seed": self.seed,
+            "outcomes": dict(sorted(self.outcomes.items())),
+            "invariant_violations": self.invariant_violations,
+            "divergences": len(
+                [f for f in self.failures if f.failure_key.startswith("divergence")]
+            ),
+            "by_class": {
+                name: {
+                    "cases": s.cases,
+                    "pass_rate": round(s.pass_rate, 4),
+                    "max_rel_error": round(s.max_rel_error, 4),
+                    "mean_rel_error": round(s.mean_rel_error, 4),
+                }
+                for name, s in sorted(self.by_class.items())
+            },
+        }
+
+    def render(self) -> str:
+        """Human-readable, timestamp-free report."""
+        lines = [
+            f"fuzz: {self.budget} cases, seed {self.seed}",
+            "outcomes: "
+            + ", ".join(f"{k}={v}" for k, v in sorted(self.outcomes.items())),
+            f"invariant violations: {self.invariant_violations}",
+        ]
+        if self.by_class:
+            lines.append(
+                f"{'class':10s} {'cases':>5s} {'pass':>6s} "
+                f"{'max err':>8s} {'mean err':>8s}"
+            )
+            for name, s in sorted(self.by_class.items()):
+                lines.append(
+                    f"{name:10s} {s.cases:5d} {s.pass_rate:6.0%} "
+                    f"{s.max_rel_error:8.3f} {s.mean_rel_error:8.3f}"
+                )
+        for fail in self.failures:
+            new = "new" if fail.was_new else "known"
+            lines.append(
+                f"  {fail.failure_key}: corpus {fail.corpus_key[:16]} ({new}, "
+                f"{fail.shrink_steps} shrink steps)"
+            )
+        return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Failure-key computation (shared by fuzz and shrinking)
+# ----------------------------------------------------------------------
+def _evaluate(
+    case: FuzzCase, bands: ToleranceBands
+) -> "tuple[OracleResult, List[Violation]]":
+    result = run_oracle(case, bands)
+    violations = (
+        check_case(result.adg, result.schedule)
+        if result.adg is not None
+        else []
+    )
+    return result, violations
+
+
+def failure_key_of(
+    result: OracleResult, violations: List[Violation]
+) -> Optional[str]:
+    """Stable identifier of what went wrong (None = case passes)."""
+    if violations:
+        return f"invariant:{violations[0].invariant}"
+    if result.outcome == "divergence":
+        return f"divergence:{result.bottleneck_class}"
+    if result.outcome == "sim_error":
+        return "sim_error"
+    return None
+
+
+def make_failure_key(bands: ToleranceBands):
+    """A shrinker predicate closed over the tolerance bands."""
+
+    def predicate(case: FuzzCase) -> Optional[str]:
+        try:
+            result, violations = _evaluate(case, bands)
+        except Exception:
+            return None                     # a crash is a different failure
+        return failure_key_of(result, violations)
+
+    return predicate
+
+
+# ----------------------------------------------------------------------
+# Fuzz driver
+# ----------------------------------------------------------------------
+def fuzz_run(
+    budget: int,
+    seed: int,
+    corpus_dir: Optional[str] = None,
+    bands: Optional[ToleranceBands] = None,
+    metrics: Optional[MetricsLogger] = None,
+    max_mutations: int = 6,
+    shrink_budget: int = 120,
+) -> FuzzStats:
+    """Generate/check/shrink/record ``budget`` cases from ``seed``."""
+    bands = bands or ToleranceBands()
+    metrics = metrics or MetricsLogger()
+    corpus = DivergenceCorpus(corpus_dir) if corpus_dir else None
+    stats = FuzzStats(budget=budget, seed=seed)
+    metrics.emit(
+        "fuzz_start", budget=budget, seed=seed, bands=bands.to_dict()
+    )
+    predicate = make_failure_key(bands)
+
+    for i in range(budget):
+        try:
+            case = random_case(f"{seed}:{i}", max_mutations=max_mutations)
+        except GeneratorError:
+            stats.count("generator_exhausted")
+            continue
+        result, violations = _evaluate(case, bands)
+        stats.count(result.outcome)
+        if violations:
+            stats.invariant_violations += len(violations)
+        if result.compared:
+            klass = stats.by_class.setdefault(
+                result.bottleneck_class, ClassStats()
+            )
+            klass.record(result.rel_error, result.outcome == "ok")
+
+        key = failure_key_of(result, violations)
+        if key is None:
+            continue
+        shrunk = shrink(case, predicate, max_evaluations=shrink_budget)
+        failure = Failure(
+            failure_key=key,
+            case=shrunk.case,
+            shrink_steps=shrunk.steps,
+            violations=[str(v) for v in violations],
+            summary=result.stats_doc(),
+        )
+        if corpus is not None:
+            failure.corpus_key, failure.was_new = corpus.add(
+                shrunk.case, key, summary=result.stats_doc()
+            )
+        stats.failures.append(failure)
+        metrics.emit(
+            "fuzz_failure",
+            case_index=i,
+            failure_key=key,
+            corpus_key=failure.corpus_key,
+            shrink_steps=shrunk.steps,
+        )
+
+    metrics.emit("fuzz_done", **stats.stats_doc())
+    return stats
+
+
+# ----------------------------------------------------------------------
+# Validation driver (invariants + corpus replay)
+# ----------------------------------------------------------------------
+@dataclass
+class ValidateReport:
+    workloads_checked: int = 0
+    schedules_checked: int = 0
+    invariant_violations: List[str] = field(default_factory=list)
+    corpus_total: int = 0
+    corpus_reproduced: int = 0
+    corpus_stale: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.invariant_violations
+
+    def render(self) -> str:
+        lines = [
+            f"validate: {self.workloads_checked} workloads, "
+            f"{self.schedules_checked} schedules checked",
+            f"invariant violations: {len(self.invariant_violations)}",
+        ]
+        lines += [f"  {v}" for v in self.invariant_violations[:20]]
+        if self.corpus_total:
+            lines.append(
+                f"corpus replay: {self.corpus_reproduced}/{self.corpus_total} "
+                f"minimal repros still reproduce"
+            )
+            lines += [f"  stale: {k[:16]}" for k in self.corpus_stale]
+        else:
+            lines.append("corpus replay: no corpus entries")
+        return "\n".join(lines)
+
+
+def validate_run(
+    corpus_dir: Optional[str] = None,
+    bands: Optional[ToleranceBands] = None,
+) -> ValidateReport:
+    """Structural invariants on the built-in suite + corpus replay."""
+    from ..adg import general_overlay
+    from ..compiler import generate_variants
+    from ..scheduler import schedule_workload
+    from ..workloads import all_workloads
+
+    bands = bands or ToleranceBands()
+    report = ValidateReport()
+    overlay = general_overlay()
+    report.invariant_violations += [
+        str(v)
+        for v in check_case(overlay.adg)
+    ]
+    for workload in all_workloads():
+        report.workloads_checked += 1
+        schedule = schedule_workload(
+            generate_variants(workload), overlay.adg, overlay.params
+        )
+        if schedule is None:
+            continue
+        report.schedules_checked += 1
+        from .invariants import check_schedule
+
+        report.invariant_violations += [
+            f"{workload.name}: {v}"
+            for v in check_schedule(schedule, overlay.adg)
+        ]
+
+    if corpus_dir:
+        corpus = DivergenceCorpus(corpus_dir)
+        predicate = make_failure_key(bands)
+        for key, case, meta in corpus.entries():
+            report.corpus_total += 1
+            expected = meta.get("failure_key")
+            actual = predicate(case)
+            if actual is not None and (expected is None or actual == expected):
+                report.corpus_reproduced += 1
+            else:
+                report.corpus_stale.append(key)
+    return report

@@ -1,0 +1,241 @@
+"""Failing-case minimization (greedy delta debugging).
+
+Given a failing :class:`~repro.validate.generators.FuzzCase` and a
+*failure key* function (e.g. "the oracle still reports ``divergence``" or
+"invariant ``adg`` still fires"), the shrinker applies a fixed menu of
+reductions and keeps any that preserve the failure key:
+
+* drop a whole loop level (the dropped induction variable is pinned to 0),
+* halve a trip count,
+* drop expression terms (and the reduction marker),
+* prune ADG nodes one at a time,
+* reset system parameters to their defaults.
+
+Reductions repeat to a fixpoint under a hard evaluation budget, so
+shrinking always terminates even on flaky predicates.  The result is a
+minimal repro that still round-trips through JSON — exactly what the
+divergence corpus stores.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterator, List, Optional
+
+from ..adg import adg_to_dict
+from .generators import FuzzCase, ProgramSpec, StatementSpec
+
+#: Returns a stable failure identifier, or None when the case passes.
+FailureKey = Callable[[FuzzCase], Optional[str]]
+
+
+@dataclass
+class ShrinkResult:
+    """Outcome of one shrink run."""
+
+    case: FuzzCase               # the minimal repro
+    key: str                     # the preserved failure key
+    steps: int                   # accepted reductions
+    evaluations: int             # predicate calls spent
+
+
+# ----------------------------------------------------------------------
+# Program reductions (each yields candidate smaller specs)
+# ----------------------------------------------------------------------
+def _without_var(coeffs, var: str):
+    return tuple((v, c) for v, c in coeffs if v != var)
+
+
+def _drop_loops(program: ProgramSpec) -> Iterator[ProgramSpec]:
+    if len(program.loops) <= 1:
+        return
+    for i in range(len(program.loops)):
+        var = program.loops[i][0]
+        loops = program.loops[:i] + program.loops[i + 1:]
+        stmt = program.statement
+        new_stmt = StatementSpec(
+            target_array=stmt.target_array,
+            target_coeffs=_without_var(stmt.target_coeffs, var),
+            target_const=stmt.target_const,
+            terms=tuple(
+                t if t.kind == "const"
+                else type(t)(
+                    kind="load",
+                    array=t.array,
+                    coeffs=_without_var(t.coeffs, var),
+                    const=t.const,
+                )
+                for t in stmt.terms
+            ),
+            ops=stmt.ops,
+            # A reduction over a now-single-level nest may be illegal;
+            # keep it only while more than one loop remains.
+            reduction=stmt.reduction if len(loops) > 1 else None,
+        )
+        yield ProgramSpec(
+            name=program.name,
+            dtype=program.dtype,
+            loops=loops,
+            statement=new_stmt,
+        )
+
+
+def _halve_trips(program: ProgramSpec) -> Iterator[ProgramSpec]:
+    for i, (var, trip) in enumerate(program.loops):
+        if trip <= 2:
+            continue
+        loops = (
+            program.loops[:i]
+            + ((var, max(2, trip // 2)),)
+            + program.loops[i + 1:]
+        )
+        yield ProgramSpec(
+            name=program.name,
+            dtype=program.dtype,
+            loops=loops,
+            statement=program.statement,
+        )
+
+
+def _drop_terms(program: ProgramSpec) -> Iterator[ProgramSpec]:
+    stmt = program.statement
+    if len(stmt.terms) <= 1:
+        if stmt.reduction is not None:
+            yield ProgramSpec(
+                name=program.name,
+                dtype=program.dtype,
+                loops=program.loops,
+                statement=StatementSpec(
+                    target_array=stmt.target_array,
+                    target_coeffs=stmt.target_coeffs,
+                    target_const=stmt.target_const,
+                    terms=stmt.terms,
+                    ops=stmt.ops,
+                    reduction=None,
+                ),
+            )
+        return
+    for i in range(len(stmt.terms)):
+        terms = stmt.terms[:i] + stmt.terms[i + 1:]
+        if not any(t.kind == "load" for t in terms):
+            continue
+        # Removing term i also removes the operator joining it leftward
+        # (term 0 loses the operator to its right instead).
+        ops = stmt.ops[1:] if i == 0 else stmt.ops[: i - 1] + stmt.ops[i:]
+        yield ProgramSpec(
+            name=program.name,
+            dtype=program.dtype,
+            loops=program.loops,
+            statement=StatementSpec(
+                target_array=stmt.target_array,
+                target_coeffs=stmt.target_coeffs,
+                target_const=stmt.target_const,
+                terms=terms,
+                ops=ops,
+                reduction=stmt.reduction,
+            ),
+        )
+
+
+_PROGRAM_REDUCTIONS = (_drop_loops, _halve_trips, _drop_terms)
+
+
+# ----------------------------------------------------------------------
+# Case-level reductions
+# ----------------------------------------------------------------------
+def _program_candidates(case: FuzzCase) -> Iterator[FuzzCase]:
+    for reduce_fn in _PROGRAM_REDUCTIONS:
+        for program in reduce_fn(case.program):
+            yield FuzzCase(
+                program=program,
+                adg_doc=case.adg_doc,
+                params=case.params,
+                origin=case.origin,
+            )
+
+
+def _adg_candidates(case: FuzzCase) -> Iterator[FuzzCase]:
+    try:
+        base = case.adg()
+    except Exception:
+        return
+    for node_id in sorted(base.node_ids()):
+        adg = base.clone()
+        try:
+            adg.remove_node(node_id)
+            doc = adg_to_dict(adg)
+        except Exception:
+            continue
+        yield FuzzCase(
+            program=case.program,
+            adg_doc=doc,
+            params=case.params,
+            origin=case.origin,
+        )
+
+
+def _param_candidates(case: FuzzCase) -> Iterator[FuzzCase]:
+    if case.params:
+        yield FuzzCase(
+            program=case.program,
+            adg_doc=case.adg_doc,
+            params={},
+            origin=case.origin,
+        )
+
+
+def _candidates(case: FuzzCase) -> Iterator[FuzzCase]:
+    yield from _program_candidates(case)
+    yield from _param_candidates(case)
+    yield from _adg_candidates(case)
+
+
+def _size(case: FuzzCase) -> int:
+    """Rough complexity measure; every accepted reduction must lower it."""
+    program = case.program
+    return (
+        len(program.loops) * 64
+        + sum(t for _, t in program.loops)
+        + len(program.statement.terms) * 16
+        + (16 if program.statement.reduction else 0)
+        + len(case.adg_doc.get("nodes", ())) * 4
+        + (8 if case.params else 0)
+    )
+
+
+# ----------------------------------------------------------------------
+# Driver
+# ----------------------------------------------------------------------
+def shrink(
+    case: FuzzCase,
+    failure_key: FailureKey,
+    max_evaluations: int = 200,
+) -> ShrinkResult:
+    """Minimize ``case`` while ``failure_key`` keeps returning the same key.
+
+    The original case must fail (``failure_key(case)`` not None); raises
+    ValueError otherwise.
+    """
+    key = failure_key(case)
+    if key is None:
+        raise ValueError("shrink() called on a passing case")
+    evaluations = 1
+    steps = 0
+    current = case
+    improved = True
+    while improved and evaluations < max_evaluations:
+        improved = False
+        for candidate in _candidates(current):
+            if evaluations >= max_evaluations:
+                break
+            if _size(candidate) >= _size(current):
+                continue
+            evaluations += 1
+            if failure_key(candidate) == key:
+                current = candidate
+                steps += 1
+                improved = True
+                break                      # restart from the smaller case
+    return ShrinkResult(
+        case=current, key=key, steps=steps, evaluations=evaluations
+    )

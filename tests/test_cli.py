@@ -86,6 +86,72 @@ class TestCommands:
         assert path.exists()
 
 
+class TestErrorHandling:
+    def test_map_unknown_workload_exits_cleanly(self, design_path, capsys):
+        rc = main(["map", design_path, "nosuchworkload"])
+        captured = capsys.readouterr()
+        assert rc == 2
+        assert "error:" in captured.err
+        assert "nosuchworkload" in captured.err
+        assert "Traceback" not in captured.err
+
+    def test_simulate_unknown_workload_exits_cleanly(self, design_path, capsys):
+        rc = main(["simulate", design_path, "bogus"])
+        captured = capsys.readouterr()
+        assert rc == 2
+        assert "error:" in captured.err and "bogus" in captured.err
+
+    def test_generate_unknown_workload_in_list(self, tmp_path, capsys):
+        rc = main(
+            ["generate", "vecmax,typo", "-o", str(tmp_path / "x.json")]
+        )
+        captured = capsys.readouterr()
+        assert rc == 2
+        assert "typo" in captured.err
+
+    def test_missing_design_file(self, capsys):
+        rc = main(["inspect", "/nonexistent/design.json"])
+        captured = capsys.readouterr()
+        assert rc == 2
+        assert "no such design file" in captured.err
+
+    def test_advise_unknown_workload(self, design_path, capsys):
+        rc = main(["advise", design_path, "nope"])
+        assert rc == 2
+        assert "nope" in capsys.readouterr().err
+
+    def test_malformed_seeds_exits_cleanly(self, tmp_path, capsys):
+        rc = main(
+            ["dse", "fir", "-n", "5", "--seeds", "2,x",
+             "-o", str(tmp_path / "d.json")]
+        )
+        captured = capsys.readouterr()
+        assert rc == 2
+        assert "malformed --seeds" in captured.err
+        assert "Traceback" not in captured.err
+
+
+class TestVersion:
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["--version"])
+        assert exc.value.code == 0
+        out = capsys.readouterr().out
+        import repro
+
+        assert out.strip() == f"repro {repro.__version__}"
+
+    def test_pyproject_version_is_dynamic(self):
+        import pathlib
+
+        root = pathlib.Path(__file__).resolve().parent.parent
+        text = (root / "pyproject.toml").read_text()
+        assert 'dynamic = ["version"]' in text
+        assert 'version = {attr = "repro.__version__"}' in text
+        # No second, divergent static copy of the version string.
+        assert 'version = "0.' not in text
+
+
 class TestDseCommand:
     def test_dse_defaults(self):
         args = build_parser().parse_args(["dse", "dsp"])

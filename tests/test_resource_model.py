@@ -1,5 +1,7 @@
 """Tests for the FPGA resource models (analytic + ML) and device budgets."""
 
+import os
+
 import numpy as np
 import pytest
 
@@ -155,6 +157,40 @@ class TestDataset:
         data = generate_all(scale=0.002)
         for ds in data.values():
             assert (ds.labels >= 0).all()
+
+    def test_generate_all_reproducible_across_processes(self):
+        # The per-family seed offset must not depend on PYTHONHASHSEED:
+        # two subprocesses with different hash seeds must agree bit-for-bit.
+        import subprocess
+        import sys
+
+        script = (
+            "from repro.model.resource.dataset import generate_all\n"
+            "import hashlib\n"
+            "d = generate_all(scale=0.002, seed=7)\n"
+            "h = hashlib.sha256()\n"
+            "for fam in sorted(d):\n"
+            "    h.update(d[fam].features.tobytes())\n"
+            "    h.update(d[fam].labels.tobytes())\n"
+            "print(h.hexdigest())\n"
+        )
+        import repro
+
+        src_dir = os.path.dirname(os.path.dirname(repro.__file__))
+        digests = []
+        for hash_seed in ("0", "4242"):
+            env = dict(
+                os.environ, PYTHONHASHSEED=hash_seed, PYTHONPATH=src_dir
+            )
+            out = subprocess.run(
+                [sys.executable, "-c", script],
+                capture_output=True,
+                text=True,
+                env=env,
+                check=True,
+            )
+            digests.append(out.stdout.strip())
+        assert digests[0] == digests[1]
 
     def test_pessimism_inflates_lut(self):
         # Dataset labels should be systematically above the analytic truth.

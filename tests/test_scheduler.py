@@ -5,10 +5,12 @@ import pytest
 from repro.adg import NodeKind, general_overlay, mesh_adg, caps_for_dtype
 from repro.compiler import generate_variants, lower
 from repro.dfg import ArrayNode, ComputeNode, StreamKind
-from repro.ir import F64, I64, Op
+from repro.ir import F64, I16, I64, Op
 from repro.scheduler import (
     RoutingState,
     ScheduleError,
+    ScheduleFailure,
+    attempt_schedule,
     find_route,
     repair_schedule,
     schedule_mdfg,
@@ -166,6 +168,72 @@ class TestScheduling:
         )
         mdfg = lower(get_workload("mm"), unroll=1)  # needs f64 mul
         assert schedule_mdfg(mdfg, adg) is None
+
+
+class TestStructuredFailure:
+    """Infeasible mappings come back as data, never exceptions."""
+
+    def test_success_has_no_failure(self, overlay):
+        mdfg = lower(get_workload("fir"), unroll=1, use_recurrence=False)
+        attempt = attempt_schedule(mdfg, overlay.adg, overlay.params)
+        assert attempt.ok
+        assert attempt.failure is None
+        assert attempt.schedule.estimate is not None
+
+    def test_missing_capability_reports_placement(self):
+        # Integer-only PEs cannot host mm's f64 multiplies.
+        adg = mesh_adg(
+            2, 2, caps=caps_for_dtype(I64, (Op.ADD,)), width_bits=512
+        )
+        mdfg = lower(get_workload("mm"), unroll=1)
+        attempt = attempt_schedule(mdfg, adg)
+        assert not attempt.ok and attempt.schedule is None
+        assert isinstance(attempt.failure, ScheduleFailure)
+        assert attempt.failure.stage == "placement"
+        assert "no PE supports" in attempt.failure.reason
+
+    def test_oversubscribed_pes_fail_structurally(self):
+        # A 1x1 mesh has a single PE; any multi-op DFG over-subscribes it.
+        adg = mesh_adg(
+            1, 1, caps=caps_for_dtype(F64, (Op.ADD, Op.MUL)), width_bits=512
+        )
+        mdfg = lower(get_workload("mm"), unroll=1)
+        attempt = attempt_schedule(mdfg, adg)
+        assert not attempt.ok
+        assert attempt.failure.stage in (
+            "binding", "placement", "routing", "skew"
+        )
+
+    def test_indirect_unsupported_reports_binding(self):
+        adg = mesh_adg(
+            2,
+            2,
+            caps=caps_for_dtype(F64, (Op.ADD, Op.MUL)),
+            width_bits=256,
+            spad_specs=((16384, 32, False),),
+            dma_indirect=False,
+        )
+        mdfg = lower(get_workload("ellpack"), unroll=1)
+        attempt = attempt_schedule(mdfg, adg)
+        assert not attempt.ok
+        assert attempt.failure.stage == "binding"
+        assert "indirect" in attempt.failure.reason
+
+    def test_schedule_error_carries_stage(self):
+        err = ScheduleError("boom")
+        assert err.stage == "schedule"
+        err = ScheduleError("boom", stage="routing")
+        assert err.stage == "routing"
+
+    def test_every_workload_gets_schedule_or_diagnosis(self, overlay):
+        # On a starved ADG nothing escapes as an exception.
+        adg = mesh_adg(
+            1, 1, caps=caps_for_dtype(I16, (Op.ADD,)), width_bits=64
+        )
+        for w in all_workloads():
+            for mdfg in generate_variants(w).variants:
+                attempt = attempt_schedule(mdfg, adg)
+                assert attempt.ok or attempt.failure.reason
 
 
 class TestRepair:

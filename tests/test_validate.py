@@ -1,0 +1,293 @@
+"""Tests for repro.validate: generators, invariants, oracle, shrinker,
+corpus, and the fuzz/validate CLI entry points."""
+
+import random
+
+import pytest
+
+from repro.cli import main
+from repro.validate import (
+    DivergenceCorpus,
+    FuzzCase,
+    ProgramSpec,
+    ToleranceBands,
+    case_key,
+    check_case,
+    check_schedule,
+    classify_bottleneck,
+    fuzz_run,
+    make_failure_key,
+    random_case,
+    random_program,
+    run_oracle,
+    shrink,
+    validate_run,
+)
+
+#: Tolerances that flag ANY model/sim disagreement — the seeded
+#: "known-divergence" configuration used throughout these tests.
+ZERO_TOL = ToleranceBands(compute=0.0, memory=0.0, aux=0.0, abs_floor=0.0)
+
+
+class TestGenerators:
+    def test_same_seed_same_case(self):
+        a = random_case("11:3")
+        b = random_case("11:3")
+        assert a == b
+        assert a.to_dict() == b.to_dict()
+
+    def test_different_seeds_differ(self):
+        cases = {case_key(random_case(f"0:{i}")) for i in range(8)}
+        assert len(cases) > 1
+
+    def test_program_builds_and_validates(self):
+        rng = random.Random(5)
+        for _ in range(20):
+            program = random_program(rng)
+            workload = program.build()       # Workload.validate() inside
+            assert workload.trip_product <= 1024
+
+    def test_case_round_trips_through_json(self):
+        import json
+
+        case = random_case("7:0")
+        doc = json.loads(json.dumps(case.to_dict()))
+        assert FuzzCase.from_dict(doc) == case
+
+    def test_array_sizes_cover_accesses(self):
+        rng = random.Random(9)
+        for _ in range(20):
+            program = random_program(rng)
+            workload = program.build()
+            trips = {l.var: l.trip for l in workload.loops}
+            sizes = {a.name: a.size for a in workload.arrays}
+            for array, index, _write in workload.all_accesses():
+                top = index.const + sum(
+                    c * (trips[v] - 1) for v, c in index.coeffs
+                )
+                assert top < sizes[array]
+
+    def test_generated_adg_is_well_formed(self):
+        for i in range(10):
+            case = random_case(f"3:{i}")
+            case.adg().validate()
+
+
+class TestInvariants:
+    def test_clean_on_general_overlay(self):
+        from repro.adg import general_overlay
+        from repro.compiler import generate_variants
+        from repro.scheduler import schedule_workload
+        from repro.workloads import get_workload
+
+        overlay = general_overlay()
+        schedule = schedule_workload(
+            generate_variants(get_workload("fir")),
+            overlay.adg,
+            overlay.params,
+        )
+        assert check_case(overlay.adg, schedule) == []
+
+    def test_detects_corrupted_placement(self):
+        from repro.adg import general_overlay
+        from repro.compiler import generate_variants
+        from repro.scheduler import schedule_workload
+        from repro.workloads import get_workload
+
+        overlay = general_overlay()
+        schedule = schedule_workload(
+            generate_variants(get_workload("vecmax")),
+            overlay.adg,
+            overlay.params,
+        )
+        dfg_id = next(iter(schedule.placement))
+        schedule.placement[dfg_id] = 10_000   # nonexistent hardware
+        violations = check_schedule(schedule, overlay.adg)
+        assert violations
+        assert all(v.invariant == "schedule" for v in violations)
+
+
+class TestOracle:
+    def test_bottleneck_classes(self):
+        assert classify_bottleneck("none") == "compute"
+        assert classify_bottleneck("dram") == "memory"
+        assert classify_bottleneck("spad3.read") == "memory"
+        assert classify_bottleneck("noc") == "memory"
+        assert classify_bottleneck("rec") == "aux"
+
+    def test_default_bands_accept_generated_cases(self):
+        for i in range(15):
+            result = run_oracle(random_case(f"0:{i}"))
+            assert result.outcome in ("ok", "unschedulable"), (
+                i, result.outcome, result.detail
+            )
+
+    def test_zero_tolerance_forces_divergence(self):
+        diverged = 0
+        for i in range(10):
+            result = run_oracle(random_case(f"0:{i}"), ZERO_TOL)
+            if result.outcome == "divergence":
+                diverged += 1
+                assert result.rel_error > 0
+        assert diverged > 0
+
+    def test_oracle_never_raises_on_corrupt_case(self):
+        case = random_case("2:0")
+        broken = FuzzCase(
+            program=ProgramSpec.from_dict(
+                {**case.program.to_dict(), "dtype": "q128"}
+            ),
+            adg_doc=case.adg_doc,
+            params=case.params,
+        )
+        assert run_oracle(broken).outcome == "build_error"
+
+
+class TestShrinker:
+    def _failing_case(self):
+        for i in range(20):
+            case = random_case(f"0:{i}")
+            if run_oracle(case, ZERO_TOL).outcome == "divergence":
+                return case
+        pytest.fail("no divergent case in 20 seeds")
+
+    def test_shrinks_known_divergence_to_minimal_repro(self):
+        case = self._failing_case()
+        predicate = make_failure_key(ZERO_TOL)
+        result = shrink(case, predicate)
+        assert result.steps > 0
+        # Still fails the same way...
+        assert predicate(result.case) == result.key
+        # ...and is strictly simpler than where it started.
+        assert len(result.case.program.loops) <= len(case.program.loops)
+        assert len(result.case.adg_doc["nodes"]) < len(case.adg_doc["nodes"])
+
+    def test_shrink_is_deterministic(self):
+        case = self._failing_case()
+        predicate = make_failure_key(ZERO_TOL)
+        a = shrink(case, predicate)
+        b = shrink(case, predicate)
+        assert a.case == b.case and a.steps == b.steps
+
+    def test_shrink_rejects_passing_case(self):
+        case = random_case("0:0")
+        with pytest.raises(ValueError):
+            shrink(case, lambda _: None)
+
+
+class TestCorpus:
+    def test_add_dedups_and_replays(self, tmp_path):
+        corpus = DivergenceCorpus(tmp_path / "corpus")
+        case = random_case("5:1")
+        key, new = corpus.add(case, "divergence:compute", {"rel_error": 1.0})
+        assert new
+        key2, new2 = corpus.add(case, "divergence:compute")
+        assert key2 == key and not new2
+        entries = list(corpus.entries())
+        assert len(entries) == 1
+        stored_key, stored_case, meta = entries[0]
+        assert stored_key == key
+        assert stored_case == case
+        assert meta["failure_key"] == "divergence:compute"
+
+    def test_key_ignores_origin(self):
+        case = random_case("5:1")
+        relabeled = FuzzCase(
+            program=case.program,
+            adg_doc=case.adg_doc,
+            params=case.params,
+            origin="elsewhere",
+        )
+        assert case_key(case) == case_key(relabeled)
+
+
+class TestFuzzRun:
+    def test_clean_run_has_no_violations(self):
+        stats = fuzz_run(budget=20, seed=0)
+        assert stats.invariant_violations == 0
+        assert sum(stats.outcomes.values()) == 20
+        assert stats.compared > 0
+
+    def test_run_is_deterministic(self):
+        a = fuzz_run(budget=15, seed=3)
+        b = fuzz_run(budget=15, seed=3)
+        assert a.render() == b.render()
+        assert a.stats_doc() == b.stats_doc()
+
+    def test_failures_recorded_and_shrunk(self, tmp_path):
+        stats = fuzz_run(
+            budget=5, seed=0, corpus_dir=str(tmp_path / "c"), bands=ZERO_TOL
+        )
+        assert stats.failures
+        for failure in stats.failures:
+            assert failure.corpus_key
+            assert failure.failure_key.startswith("divergence")
+        corpus = DivergenceCorpus(tmp_path / "c")
+        assert len(corpus) >= 1
+
+    def test_corpus_replay_through_validate_run(self, tmp_path):
+        corpus_dir = str(tmp_path / "c")
+        stats = fuzz_run(budget=5, seed=0, corpus_dir=corpus_dir, bands=ZERO_TOL)
+        assert stats.failures
+        report = validate_run(corpus_dir=corpus_dir, bands=ZERO_TOL)
+        assert report.ok
+        assert report.corpus_total >= 1
+        assert report.corpus_reproduced == report.corpus_total
+
+    def test_validate_run_clean_without_corpus(self):
+        report = validate_run()
+        assert report.ok
+        assert report.workloads_checked == 19
+
+
+class TestCliIntegration:
+    def test_fuzz_cli_reruns_byte_identically(self, tmp_path, capsys):
+        argv = [
+            "fuzz", "--budget", "12", "--seed", "4",
+            "--corpus", str(tmp_path / "c1"),
+        ]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        argv[-1] = str(tmp_path / "c2")
+        assert main(argv) == 0
+        second = capsys.readouterr().out
+        assert first == second
+        assert "invariant violations: 0" in first
+
+    def test_fuzz_then_validate_replays_minimal_repro(self, tmp_path, capsys):
+        corpus = str(tmp_path / "corpus")
+        rc = main(
+            ["fuzz", "--budget", "4", "--seed", "0", "--corpus", corpus,
+             "--rel-tol", "0", "--abs-floor", "0"]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0                      # divergences are data, not failures
+        assert "divergence" in out
+        rc = main(
+            ["validate", "--corpus", corpus, "--rel-tol", "0",
+             "--abs-floor", "0"]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "still reproduce" in out
+
+    def test_validate_cli_without_corpus(self, capsys):
+        assert main(["validate"]) == 0
+        out = capsys.readouterr().out
+        assert "invariant violations: 0" in out
+
+    def test_fuzz_metrics_stream(self, tmp_path, capsys):
+        import json
+
+        metrics = tmp_path / "events.jsonl"
+        assert main(
+            ["fuzz", "--budget", "3", "--seed", "1",
+             "--metrics", str(metrics)]
+        ) == 0
+        capsys.readouterr()
+        events = [
+            json.loads(line)["event"]
+            for line in metrics.read_text().strip().splitlines()
+        ]
+        assert events[0] == "fuzz_start"
+        assert events[-1] == "fuzz_done"
