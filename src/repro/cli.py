@@ -14,6 +14,9 @@ Commands mirror the library's main flows:
 * ``floorplan <design>``   — SLR floorplan + clock estimate
 * ``advise <design> <name>`` — explain fit + whether re-DSE would pay (Q5)
 * ``report``               — regenerate EXPERIMENTS.md
+* ``bench``                — fixed-seed DSE + simulation benchmarks with
+  span tracing; writes ``BENCH_dse.json``/``BENCH_sim.json`` and supports
+  ``--compare BASELINE.json`` regression checks
 * ``fuzz``                 — differential model-vs-simulator fuzzing:
   generate random cases, check invariants, shrink failures, record them
   in the divergence corpus
@@ -271,6 +274,91 @@ def _bands(args: argparse.Namespace):
     return bands
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    import json
+
+    from .engine import MetricsLogger
+    from .profile.bench import BUDGETS, compare_reports, run_bench
+
+    budget = BUDGETS[args.budget]
+    baseline = None
+    if args.compare:
+        try:
+            with open(args.compare) as f:
+                baseline = json.load(f)
+        except FileNotFoundError as exc:
+            raise CliError(f"no such baseline file: {args.compare}") from exc
+        except (OSError, json.JSONDecodeError) as exc:
+            raise CliError(
+                f"cannot read baseline {args.compare}: {exc}"
+            ) from exc
+        if baseline.get("kind") not in ("dse", "sim"):
+            raise CliError(
+                f"{args.compare}: not a BENCH report (missing/unknown 'kind')"
+            )
+
+    metrics = MetricsLogger(args.metrics) if args.metrics else None
+    report = run_bench(
+        budget,
+        seed=args.seed,
+        out_dir=args.out_dir,
+        trace_path=args.trace,
+        metrics=metrics,
+    )
+    d, s, o = report.dse, report.sim, report.overhead
+    print(
+        f"dse[{budget.name}]: {d['iterations']} candidates in "
+        f"{d['wall_seconds']:.2f}s ({d['candidates_per_second']:.0f}/s), "
+        f"preserved-hit rate {d['preserved_hit_rate']:.0%}"
+    )
+    print(
+        f"  fast path {d['fast_path_mean_s'] * 1e3:.3f} ms vs repair "
+        f"{d['repair_path_mean_s'] * 1e3:.3f} ms "
+        f"({d['fast_path_speedup']:.1f}x), warm-memo rerun "
+        f"{d['memo_speedup']:.1f}x faster"
+    )
+    print(
+        f"sim[{budget.name}]: {s['stepped_cycles']:,} cycles in "
+        f"{s['wall_seconds']:.2f}s ({s['cycles_per_second']:,.0f} cycles/s), "
+        f"memo hit {s['memo_speedup']:.0f}x faster than miss"
+    )
+    print(
+        f"tracer overhead: disabled/no-tracer ratio {o['ratio']:.3f} "
+        f"({o['calls']} span calls, min of {o['repeats']})"
+    )
+    print(f"wrote {report.dse_path} and {report.sim_path}")
+    if args.trace:
+        print(f"wrote Chrome trace to {args.trace}")
+
+    rc = 0
+    if args.max_overhead is not None and o["ratio"] > args.max_overhead:
+        print(
+            f"FAIL: tracer overhead ratio {o['ratio']:.3f} exceeds "
+            f"--max-overhead {args.max_overhead}"
+        )
+        rc = 1
+    if baseline is not None:
+        current_doc = report.dse if baseline["kind"] == "dse" else report.sim
+        cmp = compare_reports(current_doc, baseline, tolerance=args.tolerance)
+        for row in cmp["rows"]:
+            ratio = (
+                f"{row['ratio']:.2f}x" if row["ratio"] is not None else "n/a"
+            )
+            print(
+                f"  {row['status']:12s} {row['metric']}: "
+                f"{row['current']} vs baseline {row['baseline']} ({ratio})"
+            )
+        if cmp["ok"]:
+            print(f"compare vs {args.compare}: OK (tolerance {args.tolerance})")
+        else:
+            print(
+                f"FAIL: regression vs {args.compare} in "
+                f"{', '.join(cmp['regressions'])}"
+            )
+            rc = 1
+    return rc
+
+
 def _cmd_fuzz(args: argparse.Namespace) -> int:
     from .engine import MetricsLogger
     from .validate import fuzz_run
@@ -399,6 +487,41 @@ def build_parser() -> argparse.ArgumentParser:
     rep = sub.add_parser("report", help="regenerate EXPERIMENTS.md")
     rep.add_argument("-o", "--output", default="EXPERIMENTS.md")
     rep.set_defaults(func=_cmd_report)
+
+    bench = sub.add_parser(
+        "bench",
+        help="fixed-seed DSE + simulation benchmarks with span tracing",
+    )
+    bench.add_argument(
+        "--budget", choices=("smoke", "small", "full"), default="small",
+        help="benchmark size (default: small)",
+    )
+    bench.add_argument("-s", "--seed", type=int, default=2)
+    bench.add_argument(
+        "--out-dir", default=".",
+        help="directory for BENCH_dse.json / BENCH_sim.json",
+    )
+    bench.add_argument(
+        "--trace", default=None,
+        help="also write a Chrome trace-event file here (chrome://tracing)",
+    )
+    bench.add_argument(
+        "--metrics", default=None,
+        help="append bench + trace_summary events to this JSONL file",
+    )
+    bench.add_argument(
+        "--compare", default=None,
+        help="regression-check against a stored BENCH_*.json baseline",
+    )
+    bench.add_argument(
+        "--tolerance", type=float, default=0.25,
+        help="allowed relative drop before --compare fails (default 0.25)",
+    )
+    bench.add_argument(
+        "--max-overhead", type=float, default=None,
+        help="fail if disabled-tracer/no-tracer span ratio exceeds this",
+    )
+    bench.set_defaults(func=_cmd_bench)
 
     fuzz = sub.add_parser(
         "fuzz",

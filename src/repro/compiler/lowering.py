@@ -113,6 +113,17 @@ def lower(
         LoweringError: if the unroll factor exceeds what the datapath or
             the innermost trip count supports.
     """
+    from ..profile.tracer import span
+
+    with span("compiler.lower", workload=workload.name, unroll=unroll):
+        return _lower(workload, unroll, use_recurrence)
+
+
+def _lower(
+    workload: Workload,
+    unroll: int,
+    use_recurrence: bool,
+) -> MDFG:
     if unroll < 1:
         raise LoweringError(f"unroll factor {unroll} < 1")
     if unroll > max_unroll(workload):

@@ -15,6 +15,7 @@ from typing import List, Optional
 
 from ..dfg import MDFG, StreamKind
 from ..ir import Workload
+from ..profile.tracer import span
 from .lowering import LoweringError, lower, max_unroll
 
 
@@ -62,23 +63,25 @@ def unroll_candidates(workload: Workload) -> List[int]:
 
 def generate_variants(workload: Workload) -> VariantSet:
     """Pre-compile every useful (unroll, recurrence) combination."""
-    variants: List[MDFG] = []
-    for unroll in unroll_candidates(workload):
-        for use_rec in (True, False):
-            try:
-                mdfg = lower(workload, unroll=unroll, use_recurrence=use_rec)
-            except LoweringError:
-                continue
-            # Skip the rmw form when it is identical to the recurrence form
-            # (i.e. the workload has no outer recurrence to begin with).
-            if not use_rec and any(
-                _same_structure(mdfg, other) for other in variants
-            ):
-                continue
-            variants.append(mdfg)
-    if not variants:
-        raise LoweringError(f"{workload.name}: no lowerable variants")
-    return VariantSet(workload=workload, variants=variants)
+    with span("compiler.variants", workload=workload.name):
+        variants: List[MDFG] = []
+        for unroll in unroll_candidates(workload):
+            for use_rec in (True, False):
+                try:
+                    mdfg = lower(workload, unroll=unroll, use_recurrence=use_rec)
+                except LoweringError:
+                    continue
+                # Skip the rmw form when it is identical to the recurrence
+                # form (i.e. the workload has no outer recurrence to begin
+                # with).
+                if not use_rec and any(
+                    _same_structure(mdfg, other) for other in variants
+                ):
+                    continue
+                variants.append(mdfg)
+        if not variants:
+            raise LoweringError(f"{workload.name}: no lowerable variants")
+        return VariantSet(workload=workload, variants=variants)
 
 
 def _same_structure(a: MDFG, b: MDFG) -> bool:

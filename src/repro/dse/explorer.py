@@ -37,7 +37,15 @@ from ..adg import (
 from ..compiler import VariantSet, generate_variants
 from ..ir import Workload
 from ..model.resource import AnalyticEstimator, Resources, usable_budget
-from ..scheduler import Schedule, repair_schedule, schedule_mdfg, schedule_workload
+from ..profile.memo import ResultMemo, memo_for_config
+from ..profile.tracer import add_counter, span
+from ..scheduler import (
+    Schedule,
+    repair_schedule,
+    revalidate_schedule,
+    schedule_mdfg,
+    schedule_workload,
+)
 from .system import SystemChoice, system_dse
 from .transforms import (
     TransformFailed,
@@ -53,7 +61,8 @@ class TimeModel:
 
     full_compile: float = 420.0      # pre-generating one workload's variants
     full_schedule: float = 75.0      # scheduling one variant from scratch
-    repair: float = 6.0              # schedule repair / revalidation
+    repair: float = 6.0              # schedule repair after a breaking mutation
+    revalidate: float = 1.2          # re-checking an untouched-valid schedule
     model_eval: float = 0.9          # one system-DSE sweep point
     synthesis_hours: float = 3.4     # final Vivado synthesis + P&R
 
@@ -156,6 +165,20 @@ class Explorer:
         self.stats = DseStats()
         self.modeled_seconds = 0.0
         self.history: List[Tuple[int, float, float]] = []
+        # Schedule/simulation results memo, shared by every explorer run
+        # over this exact config (wall-clock only: modeled seconds and
+        # stats still charge as if recomputed, so resume is bit-identical).
+        self.memo = self._memo_for_config()
+
+    def _memo_for_config(self) -> ResultMemo:
+        from ..engine.hashing import config_fingerprint
+
+        return memo_for_config(config_fingerprint(self.config))
+
+    def _adg_fingerprint(self, adg: ADG) -> str:
+        from ..engine.hashing import adg_fingerprint
+
+        return adg_fingerprint(adg)
 
     # ------------------------------------------------------------------
     def run(
@@ -200,26 +223,33 @@ class Explorer:
 
         for iteration in range(start, cfg.iterations + 1):
             self.stats.iterations = iteration
-            candidate = self._propose(best[0], best[1])
+            add_counter("dse.candidates")
+            with span("dse.propose", iteration=iteration):
+                candidate = self._propose(best[0], best[1])
             if candidate is None:
                 continue
             cand_adg, cand_schedules = candidate
             if iteration % cfg.upgrade_every == 0:
-                cand_schedules = self._upgrade_variants(
-                    variant_sets, cand_adg, cand_schedules
-                )
-            cand_choice = self._system_dse(cand_adg, cand_schedules)
+                with span("dse.upgrade", iteration=iteration):
+                    cand_schedules = self._upgrade_variants(
+                        variant_sets, cand_adg, cand_schedules
+                    )
+            with span("dse.system", iteration=iteration):
+                cand_choice = self._system_dse(cand_adg, cand_schedules)
             if cand_choice is None:
                 self.stats.rejected_unschedulable += 1
+                add_counter("dse.rejected")
                 continue
             if self._accept(cand_choice, best[2], iteration):
                 best = (cand_adg, cand_schedules, cand_choice)
                 self.stats.accepted += 1
+                add_counter("dse.accepted")
                 self.history.append(
                     (iteration, self.modeled_seconds / 3600.0, cand_choice.objective)
                 )
             else:
                 self.stats.rejected_annealing += 1
+                add_counter("dse.rejected")
             if on_iteration is not None:
                 on_iteration(iteration, best[2].objective)
             if (
@@ -293,13 +323,39 @@ class Explorer:
             self.workloads, width_bits=self.config.seed_width_bits
         )
 
+    def _memoized_schedule(
+        self,
+        adg_fp: str,
+        name: str,
+        variants: VariantSet,
+        adg: ADG,
+        params: SystemParams,
+    ) -> Optional[Schedule]:
+        """``schedule_workload`` behind the config-scoped memo.
+
+        A hit skips the wall-clock work only; the caller still charges the
+        modeled toolchain cost and bumps ``full_schedules`` so checkpointed
+        runs resume bit-identically regardless of memo warmth.
+        """
+        hit, schedule = self.memo.lookup_schedule(adg_fp, name)
+        if hit:
+            add_counter("dse.schedule_memo_hits")
+            return schedule
+        with span("dse.full_schedule", workload=name):
+            schedule = schedule_workload(variants, adg, params)
+        self.memo.store_schedule(adg_fp, name, schedule)
+        return schedule
+
     def _schedule_all(
         self, variant_sets: Dict[str, VariantSet], adg: ADG
     ) -> Optional[Dict[str, Schedule]]:
         params = SystemParams()
+        adg_fp = self._adg_fingerprint(adg)
         schedules: Dict[str, Schedule] = {}
         for name, variants in variant_sets.items():
-            schedule = schedule_workload(variants, adg, params)
+            schedule = self._memoized_schedule(
+                adg_fp, name, variants, adg, params
+            )
             self.stats.full_schedules += len(variants.variants)
             self.modeled_seconds += self.config.time_model.full_schedule * len(
                 variants.variants
@@ -335,17 +391,21 @@ class Explorer:
         params = SystemParams()
         repaired: Dict[str, Schedule] = {}
         for name, old in clones.items():
-            fast = old.is_valid_for(candidate)
+            # Fast path (Section V-B): an untouched-valid schedule is
+            # re-stamped in place — repair never runs, and the modeled
+            # charge is a revalidation, not a fraction of a repair.
+            fast = revalidate_schedule(old, candidate, params)
+            if fast is not None:
+                self.stats.preserved_hits += 1
+                self.modeled_seconds += cfg.time_model.revalidate
+                repaired[name] = fast
+                continue
             new = repair_schedule(old, candidate, params)
             if new is None:
                 self.stats.rejected_unschedulable += 1
                 return None
-            if fast:
-                self.stats.preserved_hits += 1
-                self.modeled_seconds += cfg.time_model.repair * 0.2
-            else:
-                self.stats.repairs += 1
-                self.modeled_seconds += cfg.time_model.repair
+            self.stats.repairs += 1
+            self.modeled_seconds += cfg.time_model.repair
             repaired[name] = new
         return candidate, repaired
 
@@ -357,21 +417,29 @@ class Explorer:
     ) -> Dict[str, Schedule]:
         """Periodically retry better variants (they may now fit)."""
         params = SystemParams()
+        adg_fp = self._adg_fingerprint(adg)
         out = dict(schedules)
         for name, variants in variant_sets.items():
-            best = schedule_workload(variants, adg, params)
+            best = self._memoized_schedule(adg_fp, name, variants, adg, params)
             self.stats.full_schedules += len(variants.variants)
             self.modeled_seconds += (
                 self.config.time_model.full_schedule * len(variants.variants) * 0.4
             )
-            if best is not None:
-                current = out.get(name)
-                if (
-                    current is None
-                    or current.estimate is None
-                    or best.estimate.ipc > current.estimate.ipc
-                ):
+            if best is None:
+                continue
+            if best.estimate is None:
+                # A variant that schedules but yields no estimate cannot be
+                # compared; keep the incumbent instead of crashing mid-anneal.
+                if name not in out:
                     out[name] = best
+                continue
+            current = out.get(name)
+            if (
+                current is None
+                or current.estimate is None
+                or best.estimate.ipc > current.estimate.ipc
+            ):
+                out[name] = best
         return out
 
     def _pad_for_generality(self, adg: ADG, choice: SystemChoice) -> int:

@@ -27,7 +27,10 @@ from ..ir import Workload
 #: Bump whenever the meaning of a stored artifact changes — new DseResult
 #: layout, new serialize format, new objective definition — so every old
 #: on-disk artifact silently misses instead of deserializing stale science.
-CODE_SCHEMA_VERSION = 1
+#: v2: the schedule-preserving fast path skips repair and charges
+#: ``TimeModel.revalidate``, so modeled seconds / stats in old artifacts
+#: are stale.
+CODE_SCHEMA_VERSION = 2
 
 
 def canonicalize(obj: Any) -> Any:
@@ -61,6 +64,18 @@ def fingerprint(obj: Any) -> str:
     """SHA-256 hex digest of the canonical form of ``obj``."""
     blob = json.dumps(canonicalize(obj), sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def adg_fingerprint(adg: Any) -> str:
+    """Digest of an ADG's full serialized structure (nodes, links, params).
+
+    Keys the :mod:`repro.profile.memo` schedule/simulation caches: two
+    ADGs with the same fingerprint are guaranteed to schedule and
+    simulate identically.
+    """
+    from ..adg import adg_to_dict
+
+    return fingerprint(adg_to_dict(adg))
 
 
 def workload_fingerprint(workload: Workload) -> str:

@@ -206,7 +206,37 @@ def _fig20_section() -> str:
         f"Paper: 1.09x estimated IPC, ~15% DSE-time reduction; measured "
         f"geomean IPC ratio {mean_ratio:.2f}x."
     )
+    bench = _bench_dse_doc()
+    if bench is not None:
+        lines.append("")
+        lines.append(
+            f"Measured wall-clock (`repro bench --budget {bench['budget']}`"
+            f", seed {bench['seed']}): preserved-hit rate "
+            f"{bench['preserved_hit_rate']:.0%} over "
+            f"{bench['preserved_hits'] + bench['repairs']} inner-loop "
+            f"schedules; the schedule-preserving fast path averaged "
+            f"{bench['fast_path_mean_s'] * 1e3:.3f} ms vs "
+            f"{bench['repair_path_mean_s'] * 1e3:.3f} ms for repair "
+            f"({bench['fast_path_speedup']:.1f}x faster), "
+            f"{bench['candidates_per_second']:.0f} candidates/s overall."
+        )
     return "\n".join(lines)
+
+
+def _bench_dse_doc():
+    """BENCH_dse.json from a `repro bench` run at the repo root, if any."""
+    import json
+    import os
+
+    path = os.path.join(os.getcwd(), "BENCH_dse.json")
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError):
+        return None
+    if doc.get("kind") != "dse" or doc.get("schema") != 1:
+        return None
+    return doc
 
 
 def _fig11_12_section() -> str:

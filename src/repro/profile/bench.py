@@ -1,0 +1,370 @@
+"""Fixed-seed DSE + simulation benchmarks: the ``repro bench`` command.
+
+Two benchmark workloads run under one :class:`~repro.profile.Tracer`:
+
+* **DSE** — a fixed-seed annealing run (cold memo), then the identical
+  run again (warm memo).  Reports wall seconds, candidates/sec, the
+  preserved-hit rate, the measured mean wall time of the
+  schedule-preserving fast path (``scheduler.revalidate``) versus the
+  repair path (``scheduler.repair``), and the warm-memo speedup.
+* **Simulation** — cycle-level simulation of a workload set on the
+  deterministic general overlay.  Reports cycles stepped per wall
+  second and the memoized-rerun speedup.
+
+Results are written as ``BENCH_dse.json`` / ``BENCH_sim.json``
+(schema documented in README).  ``compare_reports`` implements the
+``--compare BASELINE.json`` regression mode, and ``measure_overhead``
+times the disabled-tracer ``span()`` fast path against a no-tracer run
+(the CI gate asserts the ratio stays near 1.0).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from time import perf_counter
+from typing import Any, Dict, Optional, Tuple
+
+from .memo import ResultMemo, drop_memo, simulate_memoized
+from .tracer import Tracer, current, install, span, tracing, uninstall
+
+#: Version of the BENCH_*.json document layout.
+BENCH_SCHEMA = 1
+
+#: Metrics compared by ``--compare`` (all higher-is-better rates/ratios;
+#: raw wall seconds are machine-dependent and deliberately excluded).
+COMPARED_METRICS: Dict[str, Tuple[str, ...]] = {
+    "dse": ("candidates_per_second", "fast_path_speedup", "memo_speedup"),
+    "sim": ("cycles_per_second", "memo_speedup"),
+}
+
+
+@dataclass(frozen=True)
+class BenchBudget:
+    """One named benchmark size (what CI calls ``--budget``)."""
+
+    name: str
+    dse_workloads: Tuple[str, ...]
+    dse_iterations: int
+    sim_workloads: Tuple[str, ...]
+    overhead_calls: int
+
+
+BUDGETS: Dict[str, BenchBudget] = {
+    "smoke": BenchBudget(
+        name="smoke",
+        dse_workloads=("fir",),
+        dse_iterations=8,
+        sim_workloads=("fir", "vecmax"),
+        overhead_calls=20_000,
+    ),
+    "small": BenchBudget(
+        name="small",
+        dse_workloads=("fir", "mm"),
+        dse_iterations=40,
+        sim_workloads=("fir", "mm", "bgr2grey", "vecmax"),
+        overhead_calls=50_000,
+    ),
+    "full": BenchBudget(
+        name="full",
+        dse_workloads=("cholesky", "fft", "fir", "solver", "mm"),
+        dse_iterations=150,
+        sim_workloads=(
+            "fir", "mm", "fft", "gemm", "stencil-2d", "bgr2grey", "blur",
+            "vecmax",
+        ),
+        overhead_calls=200_000,
+    ),
+}
+
+
+@dataclass
+class BenchReport:
+    """Everything one ``repro bench`` invocation produced."""
+
+    dse: Dict[str, Any]
+    sim: Dict[str, Any]
+    overhead: Dict[str, Any]
+    dse_path: str
+    sim_path: str
+    tracer: Tracer
+
+
+def measure_overhead(calls: int, repeats: int = 5) -> Dict[str, Any]:
+    """Time the ``span()`` no-op path with no tracer vs a disabled tracer.
+
+    Both paths must resolve to the same single-global-load check; the CI
+    gate (``--max-overhead``) fails when the disabled-tracer loop is
+    measurably slower than the no-tracer loop.  Takes the min over
+    ``repeats`` to suppress scheduler noise.
+    """
+
+    def loop() -> float:
+        t0 = perf_counter()
+        for _ in range(calls):
+            with span("bench.overhead"):
+                pass
+        return perf_counter() - t0
+
+    previous = current()
+    disabled_tracer = Tracer(enabled=False)
+    no_tracer = disabled = float("inf")
+    try:
+        # Interleave the two configurations so slow clock/thermal drift
+        # hits both equally instead of biasing whichever ran second.
+        for _ in range(repeats):
+            uninstall()
+            loop()  # warm-up
+            no_tracer = min(no_tracer, loop())
+            install(disabled_tracer)
+            loop()  # warm-up
+            disabled = min(disabled, loop())
+    finally:
+        if previous is not None:
+            install(previous)
+        else:
+            uninstall()
+    return {
+        "calls": calls,
+        "repeats": repeats,
+        "no_tracer_s": no_tracer,
+        "disabled_tracer_s": disabled,
+        "ratio": disabled / no_tracer if no_tracer > 0 else 1.0,
+    }
+
+
+def bench_dse(budget: BenchBudget, seed: int, tracer: Tracer) -> Dict[str, Any]:
+    """Fixed-seed DSE benchmark: cold run, then warm (memoized) rerun."""
+    from ..dse import DseConfig, Explorer
+    from ..engine.hashing import config_fingerprint
+    from ..workloads import get_workload
+
+    workloads = [get_workload(n) for n in budget.dse_workloads]
+    config = DseConfig(iterations=budget.dse_iterations, seed=seed)
+    drop_memo(config_fingerprint(config))  # guarantee a cold first run
+
+    t0 = perf_counter()
+    cold = Explorer(workloads, config, name=f"bench-{budget.name}").run()
+    wall_cold = perf_counter() - t0
+
+    t0 = perf_counter()
+    warm_explorer = Explorer(workloads, config, name=f"bench-{budget.name}")
+    warm_explorer.run()
+    wall_warm = perf_counter() - t0
+
+    stats = cold.stats
+    spans = {name: st.as_dict() for name, st in tracer.summarize().items()}
+    fast_mean = spans.get("scheduler.revalidate", {}).get("mean_s", 0.0)
+    repair_mean = spans.get("scheduler.repair", {}).get("mean_s", 0.0)
+    inner_total = stats.preserved_hits + stats.repairs
+    return {
+        "schema": BENCH_SCHEMA,
+        "kind": "dse",
+        "budget": budget.name,
+        "seed": seed,
+        "workloads": list(budget.dse_workloads),
+        "iterations": stats.iterations,
+        "accepted": stats.accepted,
+        "objective": cold.choice.objective,
+        "modeled_hours": cold.modeled_hours,
+        "wall_seconds": wall_cold,
+        "wall_seconds_warm": wall_warm,
+        "memo_speedup": wall_cold / wall_warm if wall_warm > 0 else 0.0,
+        "candidates_per_second": (
+            stats.iterations / wall_cold if wall_cold > 0 else 0.0
+        ),
+        "preserved_hits": stats.preserved_hits,
+        "repairs": stats.repairs,
+        "preserved_hit_rate": (
+            stats.preserved_hits / inner_total if inner_total else 0.0
+        ),
+        "fast_path_mean_s": fast_mean,
+        "repair_path_mean_s": repair_mean,
+        "fast_path_speedup": (
+            repair_mean / fast_mean if fast_mean > 0 and repair_mean > 0 else 0.0
+        ),
+        "memo": warm_explorer.memo.stats.as_dict(),
+        "spans": spans,
+        "counters": tracer.counters(),
+    }
+
+
+def bench_sim(budget: BenchBudget, seed: int) -> Dict[str, Any]:
+    """Simulation benchmark on the deterministic general overlay."""
+    from ..adg import general_overlay
+    from ..compiler import generate_variants
+    from ..scheduler import schedule_workload
+    from ..sim import simulate_schedule
+    from ..workloads import get_workload
+
+    sysadg = general_overlay()
+    memo = ResultMemo(scope=f"bench-sim-{budget.name}")
+    rows = []
+    total_stepped = 0
+    total_wall = 0.0
+    miss_wall_total = 0.0
+    hit_wall_total = 0.0
+    for name in budget.sim_workloads:
+        schedule = schedule_workload(
+            generate_variants(get_workload(name)), sysadg.adg, sysadg.params
+        )
+        if schedule is None:
+            rows.append({"workload": name, "skipped": "does not map"})
+            continue
+        t0 = perf_counter()
+        result = simulate_schedule(schedule, sysadg)
+        wall = perf_counter() - t0
+        t0 = perf_counter()
+        simulate_memoized(schedule, sysadg, memo)  # miss: fingerprint + sim
+        miss_wall = perf_counter() - t0
+        t0 = perf_counter()
+        simulate_memoized(schedule, sysadg, memo)  # hit: lookup only
+        hit_wall = perf_counter() - t0
+        total_stepped += result.stepped_cycles
+        total_wall += wall
+        miss_wall_total += miss_wall
+        hit_wall_total += hit_wall
+        rows.append(
+            {
+                "workload": name,
+                "variant": result.variant,
+                "cycles": result.cycles,
+                "stepped_cycles": result.stepped_cycles,
+                "extrapolated": result.extrapolated,
+                "wall_seconds": wall,
+                "cycles_per_second": (
+                    result.stepped_cycles / wall if wall > 0 else 0.0
+                ),
+                "memo_miss_s": miss_wall,
+                "memo_hit_s": hit_wall,
+            }
+        )
+    return {
+        "schema": BENCH_SCHEMA,
+        "kind": "sim",
+        "budget": budget.name,
+        "seed": seed,
+        "overlay": "general",
+        "workloads": list(budget.sim_workloads),
+        "regions": rows,
+        "stepped_cycles": total_stepped,
+        "wall_seconds": total_wall,
+        "cycles_per_second": total_stepped / total_wall if total_wall > 0 else 0.0,
+        "memo_speedup": (
+            miss_wall_total / hit_wall_total if hit_wall_total > 0 else 0.0
+        ),
+        "memo": memo.stats.as_dict(),
+    }
+
+
+def run_bench(
+    budget: BenchBudget,
+    seed: int = 2,
+    out_dir: str = ".",
+    trace_path: Optional[str] = None,
+    metrics: Optional[Any] = None,
+) -> BenchReport:
+    """Run both benchmark workloads; write ``BENCH_dse.json``/``BENCH_sim.json``.
+
+    ``metrics`` is an ``engine.metrics.MetricsLogger``-compatible object
+    (anything with ``emit``); the tracer's aggregate lands there as one
+    ``trace_summary`` event alongside ``bench_dse``/``bench_sim`` events.
+    """
+    os.makedirs(out_dir, exist_ok=True)
+    overhead = measure_overhead(budget.overhead_calls)
+    tracer = Tracer()
+    with tracing(tracer):
+        dse_doc = bench_dse(budget, seed, tracer)
+        sim_doc = bench_sim(budget, seed)
+    dse_doc["overhead"] = overhead
+
+    dse_path = os.path.join(out_dir, "BENCH_dse.json")
+    sim_path = os.path.join(out_dir, "BENCH_sim.json")
+    for path, doc in ((dse_path, dse_doc), (sim_path, sim_doc)):
+        with open(path, "w") as f:
+            json.dump(doc, f, indent=2, sort_keys=True)
+            f.write("\n")
+    if trace_path:
+        tracer.write_chrome_trace(trace_path)
+    if metrics is not None:
+        tracer.flush_to_metrics(metrics)
+        metrics.emit(
+            "bench_dse",
+            **{k: v for k, v in dse_doc.items() if k not in ("spans", "counters")},
+        )
+        metrics.emit(
+            "bench_sim",
+            **{k: v for k, v in sim_doc.items() if k != "regions"},
+        )
+    return BenchReport(
+        dse=dse_doc,
+        sim=sim_doc,
+        overhead=overhead,
+        dse_path=dse_path,
+        sim_path=sim_path,
+        tracer=tracer,
+    )
+
+
+def compare_reports(
+    current_doc: Dict[str, Any],
+    baseline: Dict[str, Any],
+    tolerance: float = 0.25,
+) -> Dict[str, Any]:
+    """Regression-check ``current_doc`` against a stored baseline.
+
+    Compares the rate/ratio metrics for the baseline's ``kind``; a metric
+    whose current/baseline ratio drops below ``1 - tolerance`` is a
+    regression, above ``1 + tolerance`` an improvement, else unchanged.
+    Metrics absent (or zero) on either side are reported as ``missing``
+    and never fail the check.
+    """
+    kind = baseline.get("kind")
+    if kind not in COMPARED_METRICS:
+        raise ValueError(f"baseline has unknown kind {kind!r}")
+    if current_doc.get("kind") != kind:
+        raise ValueError(
+            f"kind mismatch: current {current_doc.get('kind')!r} "
+            f"vs baseline {kind!r}"
+        )
+    rows = []
+    regressions = []
+    for metric in COMPARED_METRICS[kind]:
+        base = baseline.get(metric)
+        cur = current_doc.get(metric)
+        if not base or not cur:
+            rows.append(
+                {
+                    "metric": metric,
+                    "baseline": base,
+                    "current": cur,
+                    "ratio": None,
+                    "status": "missing",
+                }
+            )
+            continue
+        ratio = cur / base
+        if ratio <= 1 - tolerance:
+            status = "regression"
+            regressions.append(metric)
+        elif ratio >= 1 + tolerance:
+            status = "improvement"
+        else:
+            status = "unchanged"
+        rows.append(
+            {
+                "metric": metric,
+                "baseline": base,
+                "current": cur,
+                "ratio": ratio,
+                "status": status,
+            }
+        )
+    return {
+        "kind": kind,
+        "tolerance": tolerance,
+        "rows": rows,
+        "regressions": regressions,
+        "ok": not regressions,
+    }

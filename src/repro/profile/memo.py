@@ -1,0 +1,168 @@
+"""Config-scoped memoization of schedule and simulation results.
+
+The DSE inner loop recomputes two expensive, *deterministic* functions:
+
+* full variant scheduling (``schedule_workload``) — re-run by the
+  explorer's periodic variant upgrade and final polish, frequently
+  against an ADG fingerprint it has already scheduled;
+* cycle-level simulation (``simulate_schedule``) — re-run by benchmarks
+  and validation over identical (design, workload, variant) triples.
+
+:class:`ResultMemo` caches both, keyed by the content fingerprint of the
+ADG (via :mod:`repro.engine.hashing`) plus the workload/variant identity,
+so a hit is guaranteed to be byte-equivalent to recomputing.  Memos are
+scoped per :class:`~repro.dse.DseConfig` fingerprint through
+:func:`memo_for_config`, so two explorer runs over the same config share
+results while different configs can never alias.
+
+Memoization is a **wall-clock optimization only**: the explorer still
+charges the full *modeled* toolchain cost and bumps the same
+:class:`~repro.dse.DseStats` counters on a hit, so checkpoint/resume
+stays bit-identical (a resumed run has a cold memo) and the Fig. 15/20
+modeled DSE-hours remain comparable across cache states.  Hit/miss
+accounting lives here, in :class:`MemoStats`, and is reported by
+``repro bench`` and the tracer counters instead.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, replace
+from typing import Any, Dict, Optional, Tuple
+
+
+@dataclass
+class MemoStats:
+    """Hit/miss counters for one memo scope (not checkpointed)."""
+
+    schedule_hits: int = 0
+    schedule_misses: int = 0
+    sim_hits: int = 0
+    sim_misses: int = 0
+
+    @property
+    def schedule_hit_rate(self) -> float:
+        total = self.schedule_hits + self.schedule_misses
+        return self.schedule_hits / total if total else 0.0
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "schedule_hits": self.schedule_hits,
+            "schedule_misses": self.schedule_misses,
+            "schedule_hit_rate": self.schedule_hit_rate,
+            "sim_hits": self.sim_hits,
+            "sim_misses": self.sim_misses,
+        }
+
+
+class ResultMemo:
+    """Thread-safe schedule/simulation result cache for one scope."""
+
+    def __init__(self, scope: str = "") -> None:
+        self.scope = scope
+        self.stats = MemoStats()
+        self._schedules: Dict[Tuple[str, str], Any] = {}
+        self._sims: Dict[str, Any] = {}
+        self._lock = threading.Lock()
+
+    # -- schedules -----------------------------------------------------
+    def lookup_schedule(self, adg_fp: str, workload: str) -> Tuple[bool, Any]:
+        """``(hit, schedule-or-None)``; unschedulable results memoize too.
+
+        Hits return a clone, so callers may mutate freely.
+        """
+        key = (adg_fp, workload)
+        with self._lock:
+            if key in self._schedules:
+                self.stats.schedule_hits += 1
+                stored = self._schedules[key]
+                return True, (stored.clone() if stored is not None else None)
+            self.stats.schedule_misses += 1
+            return False, None
+
+    def store_schedule(self, adg_fp: str, workload: str, schedule: Any) -> None:
+        with self._lock:
+            self._schedules[(adg_fp, workload)] = (
+                schedule.clone() if schedule is not None else None
+            )
+
+    # -- simulations ---------------------------------------------------
+    def lookup_sim(self, key: str) -> Tuple[bool, Any]:
+        with self._lock:
+            if key in self._sims:
+                self.stats.sim_hits += 1
+                return True, self._sims[key]
+            self.stats.sim_misses += 1
+            return False, None
+
+    def store_sim(self, key: str, result: Any) -> None:
+        with self._lock:
+            self._sims[key] = result
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._schedules) + len(self._sims)
+
+
+def sim_key(schedule: Any, sysadg: Any, **sim_kwargs: Any) -> str:
+    """Content key of one simulation call: design + variant + options."""
+    from ..engine.hashing import adg_fingerprint, fingerprint
+
+    return fingerprint(
+        {
+            "adg": adg_fingerprint(sysadg.adg),
+            "params": fingerprint(sysadg.params),
+            "workload": schedule.mdfg.workload,
+            "variant": schedule.mdfg.variant,
+            "options": sorted(sim_kwargs.items()),
+        }
+    )
+
+
+def simulate_memoized(schedule: Any, sysadg: Any, memo: ResultMemo, **kwargs: Any):
+    """``simulate_schedule`` behind ``memo``; hits skip the cycle loop.
+
+    Returns a shallow copy on a hit so callers cannot corrupt the cache
+    through the result's dict fields.
+    """
+    from ..sim import simulate_schedule
+
+    key = sim_key(schedule, sysadg, **kwargs)
+    hit, result = memo.lookup_sim(key)
+    if hit:
+        return replace(
+            result,
+            engine_busy=dict(result.engine_busy),
+            pool_bytes=dict(result.pool_bytes),
+        )
+    result = simulate_schedule(schedule, sysadg, **kwargs)
+    memo.store_sim(key, result)
+    return result
+
+
+# ----------------------------------------------------------------------
+# Per-config registry: explorer runs sharing a DseConfig fingerprint
+# share one memo (within this process); workers get their own.
+# ----------------------------------------------------------------------
+_registry: Dict[str, ResultMemo] = {}
+_registry_lock = threading.Lock()
+
+
+def memo_for_config(config_key: str) -> ResultMemo:
+    """The process-wide :class:`ResultMemo` for one DseConfig fingerprint."""
+    with _registry_lock:
+        memo = _registry.get(config_key)
+        if memo is None:
+            memo = _registry[config_key] = ResultMemo(scope=config_key)
+        return memo
+
+
+def drop_memo(config_key: str) -> None:
+    """Forget one config's memo (benchmarks use this for cold runs)."""
+    with _registry_lock:
+        _registry.pop(config_key, None)
+
+
+def clear_memos() -> None:
+    with _registry_lock:
+        _registry.clear()

@@ -1,0 +1,292 @@
+"""Hierarchical span tracing for the compile→schedule→simulate→explore path.
+
+A :class:`Tracer` records *spans* — named, nested wall-clock intervals —
+through a context-manager API, plus scalar *counters*.  The four hot
+layers (compiler lowering/variants, scheduler bind/place/route/repair,
+simulator stepping, the DSE accept/reject loop) are instrumented with
+module-level :func:`span` / :func:`add_counter` calls that resolve
+against the currently *installed* tracer.
+
+Design constraints (the ``repro bench`` CI gate asserts the first one):
+
+* **Near-zero overhead when disabled.**  With no tracer installed — or a
+  disabled one — :func:`span` is a single module-global load, a ``None``
+  check, and a shared no-op context manager.  A tracer is only published
+  to the fast-path global while it is enabled.
+* **Thread-safe.**  Span stacks and completed-span buffers are
+  thread-local; buffers are registered once per thread under a lock and
+  merged at read time.  Counters take a lock (they are orders of
+  magnitude rarer than spans).
+* **Process-aware.**  Every span records its pid/tid, so traces from
+  worker processes can be concatenated and still render correctly in
+  the Chrome trace viewer (``chrome://tracing`` / Perfetto).
+
+Exports: :meth:`Tracer.summarize` (per-span-name aggregates),
+:meth:`Tracer.chrome_trace` / :meth:`Tracer.write_chrome_trace`
+(Chrome ``traceEvents`` JSON), and :meth:`Tracer.flush_to_metrics`
+(one ``trace_summary`` event into an ``engine.metrics`` JSONL stream).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from dataclasses import dataclass, field
+from time import perf_counter
+from typing import Any, Dict, List, Optional
+
+
+@dataclass
+class Span:
+    """One completed named interval (times are ``perf_counter`` seconds)."""
+
+    name: str
+    start: float
+    end: float
+    depth: int
+    tid: int
+    pid: int
+    attrs: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+@dataclass
+class SpanStat:
+    """Aggregate over every span sharing one name."""
+
+    count: int = 0
+    total_s: float = 0.0
+    min_s: float = float("inf")
+    max_s: float = 0.0
+
+    @property
+    def mean_s(self) -> float:
+        return self.total_s / self.count if self.count else 0.0
+
+    def absorb(self, duration: float) -> None:
+        self.count += 1
+        self.total_s += duration
+        self.min_s = min(self.min_s, duration)
+        self.max_s = max(self.max_s, duration)
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "count": self.count,
+            "total_s": self.total_s,
+            "mean_s": self.mean_s,
+            "min_s": self.min_s if self.count else 0.0,
+            "max_s": self.max_s,
+        }
+
+
+class _NullSpan:
+    """Shared no-op context manager: the disabled-tracer fast path."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc: Any) -> bool:
+        return False
+
+
+NULL_SPAN = _NullSpan()
+
+
+class _SpanHandle:
+    """Context manager recording one span on exit (exceptions included)."""
+
+    __slots__ = ("_tracer", "_name", "_attrs", "_start", "_depth")
+
+    def __init__(self, tracer: "Tracer", name: str, attrs: Dict[str, Any]):
+        self._tracer = tracer
+        self._name = name
+        self._attrs = attrs
+
+    def __enter__(self) -> "_SpanHandle":
+        local = self._tracer._local
+        self._depth = getattr(local, "depth", 0)
+        local.depth = self._depth + 1
+        self._start = perf_counter()
+        return self
+
+    def __exit__(self, *exc: Any) -> bool:
+        end = perf_counter()
+        tracer = self._tracer
+        tracer._local.depth = self._depth
+        tracer._record(
+            Span(
+                name=self._name,
+                start=self._start,
+                end=end,
+                depth=self._depth,
+                tid=threading.get_ident(),
+                pid=os.getpid(),
+                attrs=self._attrs,
+            )
+        )
+        return False
+
+
+class Tracer:
+    """Collects spans and counters for one profiled run."""
+
+    def __init__(self, enabled: bool = True) -> None:
+        self._enabled = enabled
+        self._t0 = perf_counter()
+        self._local = threading.local()
+        self._buffers: List[List[Span]] = []
+        self._lock = threading.Lock()
+        self._counters: Dict[str, float] = {}
+
+    # -- state ---------------------------------------------------------
+    @property
+    def enabled(self) -> bool:
+        return self._enabled
+
+    def enable(self) -> None:
+        self._enabled = True
+        _refresh_active()
+
+    def disable(self) -> None:
+        """Keep the tracer installed but make ``span()`` a no-op again."""
+        self._enabled = False
+        _refresh_active()
+
+    # -- recording -----------------------------------------------------
+    def span(self, name: str, **attrs: Any) -> _SpanHandle:
+        return _SpanHandle(self, name, attrs)
+
+    def add_counter(self, name: str, value: float = 1.0) -> None:
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0.0) + value
+
+    def _record(self, span: Span) -> None:
+        buffer = getattr(self._local, "buffer", None)
+        if buffer is None:
+            buffer = self._local.buffer = []
+            with self._lock:
+                self._buffers.append(buffer)
+        buffer.append(span)
+
+    # -- reading -------------------------------------------------------
+    def spans(self) -> List[Span]:
+        """Every completed span, merged across threads, in start order."""
+        with self._lock:
+            merged: List[Span] = [s for buf in self._buffers for s in buf]
+        merged.sort(key=lambda s: s.start)
+        return merged
+
+    def counters(self) -> Dict[str, float]:
+        with self._lock:
+            return dict(self._counters)
+
+    def summarize(self) -> Dict[str, SpanStat]:
+        """Per-span-name aggregates (count, total, mean, min, max)."""
+        stats: Dict[str, SpanStat] = {}
+        for span in self.spans():
+            stats.setdefault(span.name, SpanStat()).absorb(span.duration)
+        return stats
+
+    # -- export --------------------------------------------------------
+    def chrome_trace(self) -> Dict[str, Any]:
+        """The trace as a Chrome ``traceEvents`` document."""
+        events = [
+            {
+                "name": s.name,
+                "cat": s.name.split(".", 1)[0],
+                "ph": "X",
+                "ts": (s.start - self._t0) * 1e6,
+                "dur": s.duration * 1e6,
+                "pid": s.pid,
+                "tid": s.tid,
+                "args": s.attrs,
+            }
+            for s in self.spans()
+        ]
+        return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+    def write_chrome_trace(self, path: str) -> None:
+        with open(path, "w") as f:
+            json.dump(self.chrome_trace(), f, indent=1, sort_keys=True)
+
+    def flush_to_metrics(self, logger: Any, event: str = "trace_summary") -> Dict[str, Any]:
+        """Emit one aggregate event into an ``engine.metrics`` logger."""
+        return logger.emit(
+            event,
+            spans={name: st.as_dict() for name, st in self.summarize().items()},
+            counters=self.counters(),
+        )
+
+
+# ----------------------------------------------------------------------
+# Module-level fast path.  `_active` is non-None only while a tracer is
+# both installed and enabled, so the disabled check is a single load.
+# ----------------------------------------------------------------------
+_installed: Optional[Tracer] = None
+_active: Optional[Tracer] = None
+
+
+def _refresh_active() -> None:
+    global _active
+    tracer = _installed
+    _active = tracer if (tracer is not None and tracer.enabled) else None
+
+
+def install(tracer: Tracer) -> Tracer:
+    """Make ``tracer`` the process-wide target of :func:`span`."""
+    global _installed
+    _installed = tracer
+    _refresh_active()
+    return tracer
+
+
+def uninstall() -> None:
+    global _installed
+    _installed = None
+    _refresh_active()
+
+
+def current() -> Optional[Tracer]:
+    return _installed
+
+
+def span(name: str, **attrs: Any):
+    """Open a span on the installed tracer; no-op when none is active."""
+    tracer = _active
+    if tracer is None:
+        return NULL_SPAN
+    return tracer.span(name, **attrs)
+
+
+def add_counter(name: str, value: float = 1.0) -> None:
+    """Bump a counter on the installed tracer; no-op when none is active."""
+    tracer = _active
+    if tracer is not None:
+        tracer.add_counter(name, value)
+
+
+class tracing:
+    """``with tracing() as t:`` — install a tracer for a block, restoring
+    whatever was installed before (nesting-safe)."""
+
+    def __init__(self, tracer: Optional[Tracer] = None) -> None:
+        self.tracer = tracer if tracer is not None else Tracer()
+        self._previous: Optional[Tracer] = None
+
+    def __enter__(self) -> Tracer:
+        self._previous = current()
+        install(self.tracer)
+        return self.tracer
+
+    def __exit__(self, *exc: Any) -> bool:
+        if self._previous is not None:
+            install(self._previous)
+        else:
+            uninstall()
+        return False

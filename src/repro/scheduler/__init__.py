@@ -13,8 +13,10 @@ from .schedule import (
 from .spatial import (
     attempt_schedule,
     repair_schedule,
+    revalidate_schedule,
     schedule_mdfg,
     schedule_workload,
+    semantic_ok,
 )
 
 __all__ = [
@@ -29,8 +31,10 @@ __all__ = [
     "find_route",
     "place_and_route",
     "repair_schedule",
+    "revalidate_schedule",
     "route_distance",
     "schedule_mdfg",
     "schedule_workload",
+    "semantic_ok",
     "topo_compute_order",
 ]

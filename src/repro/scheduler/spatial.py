@@ -15,6 +15,7 @@ from ..adg import ADG, NodeKind, ProcessingElement, SystemParams
 from ..compiler import VariantSet
 from ..dfg import ComputeNode, InputPortNode, MDFG, OutputPortNode, StreamNode
 from ..model.perf import PerfEstimate, estimate_ipc
+from ..profile.tracer import span
 from .binder import bind_memory
 from .placer import place_and_route
 from .router import RoutingState
@@ -36,8 +37,12 @@ def attempt_schedule(
     schedule = Schedule(mdfg=mdfg, adg_version=adg.version)
     state = RoutingState(adg)
     try:
-        bind_memory(mdfg, adg, schedule)
-        place_and_route(mdfg, adg, schedule, state)
+        with span("scheduler.bind", workload=mdfg.workload, variant=mdfg.variant):
+            bind_memory(mdfg, adg, schedule)
+        with span(
+            "scheduler.place_route", workload=mdfg.workload, variant=mdfg.variant
+        ):
+            place_and_route(mdfg, adg, schedule, state)
     except ScheduleError as exc:
         return ScheduleAttempt(
             failure=ScheduleFailure(stage=exc.stage, reason=str(exc))
@@ -81,7 +86,7 @@ def schedule_workload(
 # ----------------------------------------------------------------------
 # Schedule repair (Section V-A): keep what survived the ADG mutation.
 # ----------------------------------------------------------------------
-def _semantic_ok(mdfg: MDFG, adg: ADG, schedule: Schedule) -> bool:
+def semantic_ok(mdfg: MDFG, adg: ADG, schedule: Schedule) -> bool:
     """Do surviving placements still satisfy capability/width constraints?
 
     Structural existence is checked by ``Schedule.is_valid_for``; this
@@ -104,6 +109,36 @@ def _semantic_ok(mdfg: MDFG, adg: ADG, schedule: Schedule) -> bool:
     return True
 
 
+def revalidate_schedule(
+    schedule: Schedule,
+    adg: ADG,
+    params: SystemParams,
+) -> Optional[Schedule]:
+    """The schedule-preserving fast path: no repair, no re-derivation.
+
+    When ``schedule`` survives the ADG mutation both structurally
+    (:meth:`Schedule.is_valid_for`) and semantically (:func:`semantic_ok`),
+    stamp the new ADG version, refresh the performance estimate in place,
+    and return the *same* object — no dict copies, no routing, no
+    placement.  Returns ``None`` when the schedule did not survive and
+    the caller must pay for :func:`repair_schedule`.
+    """
+    with span(
+        "scheduler.revalidate",
+        workload=schedule.mdfg.workload,
+        variant=schedule.mdfg.variant,
+    ):
+        if not schedule.is_valid_for(adg) or not semantic_ok(
+            schedule.mdfg, adg, schedule
+        ):
+            return None
+        schedule.adg_version = adg.version
+        schedule.estimate = estimate_ipc(
+            schedule.mdfg, schedule.binding(), adg, params
+        )
+        return schedule
+
+
 def repair_schedule(
     schedule: Schedule,
     adg: ADG,
@@ -115,8 +150,21 @@ def repair_schedule(
     routes broke, keep every placement and re-route.  If placements broke,
     fall back to a full reschedule of the same variant.
     """
+    with span(
+        "scheduler.repair",
+        workload=schedule.mdfg.workload,
+        variant=schedule.mdfg.variant,
+    ):
+        return _repair_schedule(schedule, adg, params)
+
+
+def _repair_schedule(
+    schedule: Schedule,
+    adg: ADG,
+    params: SystemParams,
+) -> Optional[Schedule]:
     mdfg = schedule.mdfg
-    if schedule.is_valid_for(adg) and _semantic_ok(mdfg, adg, schedule):
+    if schedule.is_valid_for(adg) and semantic_ok(mdfg, adg, schedule):
         refreshed = Schedule(
             mdfg=mdfg,
             adg_version=adg.version,
@@ -130,7 +178,7 @@ def repair_schedule(
         return refreshed
 
     bad_nodes, bad_edges = schedule.broken_pieces(adg)
-    if not bad_nodes and _semantic_ok(mdfg, adg, schedule):
+    if not bad_nodes and semantic_ok(mdfg, adg, schedule):
         repaired = _reroute_only(schedule, adg, bad_edges)
         if repaired is not None:
             repaired.estimate = estimate_ipc(

@@ -33,6 +33,7 @@ from ..dfg import (
     StreamNode,
 )
 from ..ir import op_latency
+from ..profile.tracer import add_counter, span
 from ..scheduler import Schedule
 from .components import (
     BandwidthPool,
@@ -60,6 +61,9 @@ class SimResult:
     instructions: float
     tiles_used: int
     extrapolated: bool
+    #: cycles actually stepped by the event loop (== cycles - config
+    #: reload when not extrapolated); the denominator of cycles/sec rates.
+    stepped_cycles: int = 0
     engine_busy: Dict[str, int] = field(default_factory=dict)
     pool_bytes: Dict[str, float] = field(default_factory=dict)
     fabric_stalls: int = 0
@@ -298,6 +302,19 @@ def simulate_schedule(
     """Simulate one scheduled region on the overlay; returns cycles/IPC."""
     mdfg = schedule.mdfg
     params = sysadg.params
+    if not exact and max_exact_cycles <= 1:
+        raise SimulationError(
+            f"{mdfg.workload}/{mdfg.variant}: max_exact_cycles="
+            f"{max_exact_cycles} leaves no room to measure a steady-state "
+            "rate (need at least 2 cycles)"
+        )
+    if not exact and measure_window >= max_exact_cycles:
+        # The steady-state window must open before the exact-cycle cap, or
+        # the extrapolation rate would be measured from cycle 0 and include
+        # the dispatch/config warm-up transient.  Clamp the window start to
+        # half the cap: the first half absorbs warm-up, the second half is
+        # the measurement.
+        measure_window = max(1, max_exact_cycles // 2)
     tiles_used = max(1, min(params.num_tiles, int(mdfg.tile_parallelism)))
     engines, fabric, pools = build_tile(
         schedule, sysadg, tiles_used, onehot_bypass=onehot_bypass
@@ -312,38 +329,41 @@ def simulate_schedule(
     last_firings = -1.0
 
     hard_cap = max_exact_cycles if not exact else 1 << 62
-    while True:
-        if fabric.done:
-            # Residual read elements (rounding of stationary hold factors)
-            # are terminated with the region: streams end when their
-            # consumer configuration completes.
+    with span("sim.region", workload=mdfg.workload, variant=mdfg.variant):
+        while True:
+            if fabric.done:
+                # Residual read elements (rounding of stationary hold
+                # factors) are terminated with the region: streams end when
+                # their consumer configuration completes.
+                for engine in engines:
+                    for stream in engine.streams:
+                        if stream.is_read and not stream.done:
+                            stream.moved = stream.total_elements
+            if fabric.done and all(e.done for e in engines):
+                break
+            if not exact and now >= hard_cap:
+                extrapolated = True
+                break
+            for pool in pools:
+                pool.refill()
             for engine in engines:
-                for stream in engine.streams:
-                    if stream.is_read and not stream.done:
-                        stream.moved = stream.total_elements
-        if fabric.done and all(e.done for e in engines):
-            break
-        if not exact and now >= hard_cap:
-            extrapolated = True
-            break
-        for pool in pools:
-            pool.refill()
-        for engine in engines:
-            engine.step(now)
-        fabric.step(now)
-        if fabric.firings != last_firings:
-            last_firings = fabric.firings
-            last_progress_cycle = now
-        if now - last_progress_cycle > 20_000 and not fabric.done:
-            raise SimulationError(
-                f"{mdfg.workload}/{mdfg.variant}: no progress for 20k cycles "
-                f"at cycle {now} (firings={fabric.firings:.1f}/"
-                f"{fabric.config.total_firings:.1f})"
-            )
-        now += 1
-        if now == measure_window:
-            window_start_firings = fabric.firings
-            window_start_cycle = now
+                engine.step(now)
+            fabric.step(now)
+            if fabric.firings != last_firings:
+                last_firings = fabric.firings
+                last_progress_cycle = now
+            if now - last_progress_cycle > 20_000 and not fabric.done:
+                raise SimulationError(
+                    f"{mdfg.workload}/{mdfg.variant}: no progress for 20k "
+                    f"cycles at cycle {now} (firings={fabric.firings:.1f}/"
+                    f"{fabric.config.total_firings:.1f})"
+                )
+            now += 1
+            if now == measure_window:
+                window_start_firings = fabric.firings
+                window_start_cycle = now
+    add_counter("sim.regions")
+    add_counter("sim.cycles_stepped", now)
 
     if extrapolated:
         rate = (fabric.firings - window_start_firings) / max(
@@ -367,6 +387,7 @@ def simulate_schedule(
         instructions=instructions,
         tiles_used=tiles_used,
         extrapolated=extrapolated,
+        stepped_cycles=now,
         engine_busy={e.name: e.busy_cycles for e in engines},
         pool_bytes={p.name: p.consumed_total for p in pools},
         fabric_stalls=fabric.stall_cycles,

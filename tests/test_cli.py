@@ -152,6 +152,105 @@ class TestVersion:
         assert 'version = "0.' not in text
 
 
+def _fake_bench_report(tmp_path):
+    from repro.profile import Tracer
+    from repro.profile.bench import BenchReport
+
+    dse = {
+        "schema": 1, "kind": "dse", "iterations": 8, "wall_seconds": 0.1,
+        "candidates_per_second": 80.0, "preserved_hit_rate": 0.9,
+        "fast_path_mean_s": 1e-4, "repair_path_mean_s": 5e-4,
+        "fast_path_speedup": 5.0, "memo_speedup": 2.0,
+    }
+    sim = {
+        "schema": 1, "kind": "sim", "stepped_cycles": 1000,
+        "wall_seconds": 0.01, "cycles_per_second": 1e5, "memo_speedup": 10.0,
+    }
+    overhead = {
+        "ratio": 1.01, "calls": 100, "repeats": 2,
+        "no_tracer_s": 0.001, "disabled_tracer_s": 0.00101,
+    }
+    return BenchReport(
+        dse=dse, sim=sim, overhead=overhead,
+        dse_path=str(tmp_path / "BENCH_dse.json"),
+        sim_path=str(tmp_path / "BENCH_sim.json"),
+        tracer=Tracer(),
+    )
+
+
+class TestBenchCommand:
+    """CLI wiring of ``repro bench`` (run_bench itself is tested in
+    test_profile; these monkeypatch it so exit-code paths stay fast)."""
+
+    @pytest.fixture
+    def fake_run(self, tmp_path, monkeypatch):
+        import repro.profile.bench as bench_mod
+
+        report = _fake_bench_report(tmp_path)
+        monkeypatch.setattr(
+            bench_mod, "run_bench", lambda *a, **k: report
+        )
+        return report
+
+    def test_bench_defaults(self):
+        args = build_parser().parse_args(["bench"])
+        assert args.budget == "small"
+        assert args.tolerance == 0.25
+        assert args.max_overhead is None
+
+    def test_bench_ok(self, fake_run, capsys):
+        assert main(["bench", "--budget", "smoke"]) == 0
+        out = capsys.readouterr().out
+        assert "preserved-hit rate 90%" in out
+        assert "fast path" in out and "repair" in out
+
+    def test_compare_improvement(self, fake_run, tmp_path, capsys):
+        baseline = dict(fake_run.dse, candidates_per_second=10.0)
+        path = tmp_path / "base.json"
+        path.write_text(json.dumps(baseline))
+        assert main(["bench", "--compare", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "improvement" in out and "OK" in out
+
+    def test_compare_regression_fails(self, fake_run, tmp_path, capsys):
+        baseline = dict(fake_run.dse, fast_path_speedup=50.0)
+        path = tmp_path / "base.json"
+        path.write_text(json.dumps(baseline))
+        assert main(["bench", "--compare", str(path)]) == 1
+        out = capsys.readouterr().out
+        assert "regression" in out and "FAIL" in out
+
+    def test_compare_sim_baseline(self, fake_run, tmp_path, capsys):
+        baseline = dict(fake_run.sim, cycles_per_second=2e4)
+        path = tmp_path / "base.json"
+        path.write_text(json.dumps(baseline))
+        assert main(["bench", "--compare", str(path)]) == 0
+        assert "cycles_per_second" in capsys.readouterr().out
+
+    def test_missing_baseline_exits_2(self, fake_run, capsys):
+        rc = main(["bench", "--compare", "/nonexistent/base.json"])
+        captured = capsys.readouterr()
+        assert rc == 2
+        assert "no such baseline file" in captured.err
+        assert "Traceback" not in captured.err
+
+    def test_malformed_baseline_exits_2(self, fake_run, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        assert main(["bench", "--compare", str(bad)]) == 2
+        assert "cannot read baseline" in capsys.readouterr().err
+
+        nokind = tmp_path / "nokind.json"
+        nokind.write_text(json.dumps({"schema": 1}))
+        assert main(["bench", "--compare", str(nokind)]) == 2
+        assert "missing/unknown 'kind'" in capsys.readouterr().err
+
+    def test_overhead_gate(self, fake_run, capsys):
+        assert main(["bench", "--max-overhead", "1.005"]) == 1
+        assert "overhead ratio" in capsys.readouterr().out
+        assert main(["bench", "--max-overhead", "1.05"]) == 0
+
+
 class TestDseCommand:
     def test_dse_defaults(self):
         args = build_parser().parse_args(["dse", "dsp"])

@@ -109,6 +109,125 @@ class TestExplorer:
         with pytest.raises(ValueError):
             explore([], DseConfig(iterations=1))
 
+    def test_fast_path_skips_repair(self, monkeypatch):
+        """A no-op transform must take revalidation, never repair (V-B)."""
+        from repro.dse import explorer as mod
+        from repro.compiler import generate_variants
+        from repro.profile import ResultMemo
+
+        workloads = [get_workload("vecmax"), get_workload("accumulate")]
+        cfg = DseConfig(iterations=1, seed=3, preserving_prob=1.0)
+        ex = mod.Explorer(workloads, cfg)
+        ex.memo = ResultMemo()
+        adg = ex._initial_adg()
+        variant_sets = {w.name: generate_variants(w) for w in workloads}
+        schedules = ex._schedule_all(variant_sets, adg)
+        assert schedules is not None
+
+        repair_calls = []
+        monkeypatch.setattr(
+            mod, "collapse_random_switch", lambda *a, **k: True
+        )
+        monkeypatch.setattr(
+            mod,
+            "repair_schedule",
+            lambda *a, **k: repair_calls.append(1) or None,
+        )
+        hits0 = ex.stats.preserved_hits
+        modeled0 = ex.modeled_seconds
+        out = ex._propose(adg, schedules)
+        assert out is not None
+        assert repair_calls == []
+        assert ex.stats.preserved_hits - hits0 == len(workloads)
+        # Preserved hits are charged as revalidations, not repair fractions.
+        assert ex.modeled_seconds - modeled0 == pytest.approx(
+            cfg.time_model.revalidate * len(workloads)
+        )
+        candidate, repaired = out
+        for schedule in repaired.values():
+            assert schedule.is_valid_for(candidate)
+            assert schedule.adg_version == candidate.version
+            assert schedule.estimate is not None
+
+    def test_repair_path_charges_repair(self, monkeypatch):
+        """When revalidation fails, repair runs and is charged in full."""
+        from repro.dse import explorer as mod
+        from repro.compiler import generate_variants
+        from repro.profile import ResultMemo
+
+        workloads = [get_workload("vecmax")]
+        cfg = DseConfig(iterations=1, seed=3, preserving_prob=1.0)
+        ex = mod.Explorer(workloads, cfg)
+        ex.memo = ResultMemo()
+        adg = ex._initial_adg()
+        variant_sets = {w.name: generate_variants(w) for w in workloads}
+        schedules = ex._schedule_all(variant_sets, adg)
+        assert schedules is not None
+
+        monkeypatch.setattr(
+            mod, "collapse_random_switch", lambda *a, **k: True
+        )
+        monkeypatch.setattr(mod, "revalidate_schedule", lambda *a, **k: None)
+        repairs0 = ex.stats.repairs
+        modeled0 = ex.modeled_seconds
+        out = ex._propose(adg, schedules)
+        assert out is not None
+        assert ex.stats.repairs - repairs0 == 1
+        assert ex.modeled_seconds - modeled0 == pytest.approx(
+            cfg.time_model.repair
+        )
+
+    def test_upgrade_variants_survives_estimateless_schedule(self, monkeypatch):
+        """A variant that schedules without an estimate must not crash the
+        anneal; the incumbent (comparable) schedule is kept instead."""
+        from repro.adg import SystemParams
+        from repro.dse import explorer as mod
+        from repro.compiler import generate_variants
+        from repro.profile import ResultMemo
+        from repro.scheduler import schedule_workload
+
+        w = get_workload("vecmax")
+        ex = mod.Explorer([w], DseConfig(iterations=1, seed=11))
+        adg = ex._initial_adg()
+        variant_sets = {w.name: generate_variants(w)}
+        baseline = schedule_workload(variant_sets[w.name], adg, SystemParams())
+        assert baseline is not None and baseline.estimate is not None
+
+        broken = baseline.clone()
+        broken.estimate = None
+        ex.memo = ResultMemo()  # force the monkeypatched path to run
+        monkeypatch.setattr(
+            mod, "schedule_workload", lambda *a, **k: broken
+        )
+        out = ex._upgrade_variants(variant_sets, adg, {w.name: baseline})
+        assert out[w.name] is baseline  # incumbent kept, no AttributeError
+        # Without an incumbent the estimateless schedule is still adopted
+        # (mapping validity matters more than comparability).
+        out2 = ex._upgrade_variants(variant_sets, adg, {})
+        assert out2[w.name].estimate is None
+
+    def test_schedule_memo_reuses_results_across_runs(self):
+        """Two explorer runs over one config share schedule results."""
+        from repro.dse import explorer as mod
+        from repro.engine.hashing import config_fingerprint
+        from repro.profile import drop_memo
+
+        cfg = DseConfig(iterations=6, seed=9)
+        drop_memo(config_fingerprint(cfg))
+        w = [get_workload("vecmax")]
+        cold = mod.Explorer(w, cfg)
+        a = cold.run()
+        assert cold.memo.stats.schedule_misses > 0
+        warm = mod.Explorer(w, cfg)
+        b = warm.run()
+        assert warm.memo is cold.memo
+        assert warm.memo.stats.schedule_hits > 0
+        # Memoization is wall-clock only: results stay bit-identical.
+        assert a.choice.objective == b.choice.objective
+        assert a.stats == b.stats
+        assert a.modeled_seconds == b.modeled_seconds
+        drop_memo(config_fingerprint(cfg))
+
     def test_simulation_agrees_with_model_direction(self, dsp_result):
         # The analytical model is an upper-bound-style estimate; simulated
         # IPC lands within a sane band of it for the chosen designs.

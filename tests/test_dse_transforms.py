@@ -153,9 +153,9 @@ class TestPruning:
         assert changes > 0
         assert after < before
         # The schedule still semantically fits the pruned hardware.
-        from repro.scheduler.spatial import _semantic_ok
+        from repro.scheduler import semantic_ok
 
-        assert _semantic_ok(schedule.mdfg, adg, schedule)
+        assert semantic_ok(schedule.mdfg, adg, schedule)
 
     def test_prune_keeps_dma(self, scheduled):
         adg, schedule = scheduled

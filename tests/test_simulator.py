@@ -218,6 +218,41 @@ class TestWholeRegion:
         if quick.extrapolated:
             assert quick.cycles == pytest.approx(exact.cycles, rel=0.25)
 
+    def test_small_cap_clamps_measure_window(self, overlay):
+        # max_exact_cycles below the default 4k measurement window used to
+        # extrapolate from a window that never opened (rate measured from
+        # cycle 0, warm-up included).  The clamp keeps the estimate close
+        # to the exact run.
+        schedule = scheduled("mm", overlay, unroll=2)
+        exact = simulate_schedule(schedule, overlay, exact=True)
+        quick = simulate_schedule(schedule, overlay, max_exact_cycles=600)
+        assert quick.extrapolated
+        assert quick.stepped_cycles <= 600
+        assert quick.cycles == pytest.approx(exact.cycles, rel=0.25)
+
+    def test_tiny_cap_raises_cleanly(self, overlay):
+        schedule = scheduled("vecmax", overlay, unroll=16)
+        for cap in (0, 1):
+            with pytest.raises(SimulationError, match="max_exact_cycles"):
+                simulate_schedule(schedule, overlay, max_exact_cycles=cap)
+
+    def test_stepped_cycles_reported(self, overlay):
+        schedule = scheduled("vecmax", overlay, unroll=16)
+        exact = simulate_schedule(schedule, overlay, exact=True)
+        assert not exact.extrapolated
+        # For an exact run, total cycles = stepped + config reload.
+        assert exact.cycles == pytest.approx(
+            exact.stepped_cycles + schedule.mdfg.config_words
+        )
+
+    def test_no_progress_deadlock_detected(self, overlay, monkeypatch):
+        import repro.sim.simulator as simmod
+
+        schedule = scheduled("vecmax", overlay, unroll=16)
+        monkeypatch.setattr(simmod.FabricSim, "step", lambda self, t: None)
+        with pytest.raises(SimulationError, match="no progress"):
+            simulate_schedule(schedule, overlay, exact=True)
+
     def test_critical_path_depth_positive(self, overlay):
         schedule = scheduled("bgr2grey", overlay, unroll=4)
         depth = critical_path_depth(schedule.mdfg, schedule)
