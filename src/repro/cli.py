@@ -22,6 +22,12 @@ Commands mirror the library's main flows:
   in the divergence corpus
 * ``validate``             — structural invariants over the built-in
   suite + replay of the divergence corpus
+* ``serve``                — long-lived overlay-compilation service:
+  JSON-lines requests over a unix socket or localhost TCP, bounded
+  queue with admission control, single-flight coalescing, process
+  worker pool, per-request deadlines, graceful drain
+* ``submit``               — client for ``serve``: one-shot requests
+  (map/estimate/simulate/ping/stats/shutdown) or a concurrent load run
 
 Expected user errors (unknown workload names, missing files) exit with a
 clean one-line message and status 2; programming errors still traceback.
@@ -125,6 +131,7 @@ def _cmd_dse(args: argparse.Namespace) -> int:
         jobs=args.jobs,
         metrics=MetricsLogger(args.metrics),
         checkpoint_every=args.checkpoint_every,
+        seed_timeout=args.seed_timeout,
     )
     print(
         f"engine DSE for {len(workloads)} workload(s), seeds "
@@ -195,7 +202,22 @@ def _map_workload(design_path: str, name: str):
     return sysadg, schedule
 
 
+def _single_shot_json(op: str, design_path: str, workload: str) -> int:
+    """The serve-comparable single-shot path: canonical JSON on stdout."""
+    from .serve import canonical_dumps, single_shot
+
+    sysadg = _load_design(design_path)
+    doc = single_shot(op, sysadg, _get_workload(workload).name)
+    if doc is None:
+        print(f"{workload} does NOT map onto {sysadg.name}")
+        return 1
+    print(canonical_dumps(doc))
+    return 0
+
+
 def _cmd_map(args: argparse.Namespace) -> int:
+    if args.json:
+        return _single_shot_json("map", args.design, args.workload)
     sysadg, schedule = _map_workload(args.design, args.workload)
     if schedule is None:
         print(f"{args.workload} does NOT map onto {sysadg.name}")
@@ -208,6 +230,8 @@ def _cmd_map(args: argparse.Namespace) -> int:
 
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
+    if args.json:
+        return _single_shot_json("simulate", args.design, args.workload)
     sysadg, schedule = _map_workload(args.design, args.workload)
     if schedule is None:
         print(f"{args.workload} does NOT map onto {sysadg.name}")
@@ -375,6 +399,157 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
     return 1 if stats.invariant_violations else 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from .engine import MetricsLogger
+    from .serve import OverlayServer, ServeConfig, serve_until_shutdown
+
+    if not args.designs:
+        raise CliError("serve needs at least one design file")
+    config = ServeConfig(
+        socket_path=args.socket,
+        host=args.host,
+        port=args.port,
+        queue_limit=args.queue_limit,
+        workers=args.workers,
+        default_timeout_s=args.default_timeout,
+        drain_timeout_s=args.drain_timeout,
+        cache_dir=args.cache_dir,
+    )
+    server = OverlayServer(config, metrics=MetricsLogger(args.metrics))
+
+    async def _run() -> None:
+        for path in args.designs:
+            try:
+                name = server.load_design(path)
+            except FileNotFoundError as exc:
+                raise CliError(f"no such design file: {path}") from exc
+            print(
+                f"loaded overlay {name!r} from {path} "
+                f"(fingerprint {server.overlays[name].fingerprint[:16]})"
+            )
+        started = asyncio.get_running_loop().create_task(
+            serve_until_shutdown(server)
+        )
+        while server.endpoint is None and not started.done():
+            await asyncio.sleep(0.01)
+        if server.endpoint is not None:
+            kind, where = server.endpoint
+            print(f"serving on {kind} {where}", flush=True)
+        await started
+
+    asyncio.run(_run())
+    c = server.counters
+    print(
+        f"drained: {c['requests']} requests "
+        f"({c['responses_ok']} ok, {c['responses_error']} errors, "
+        f"{c['computes']} compiles, {c['coalesced']} coalesced)"
+    )
+    return 0
+
+
+def _client_factory(args: argparse.Namespace):
+    from .serve import ServeClient
+
+    if not args.socket and args.port == 0:
+        raise CliError("submit needs --socket PATH or --host/--port")
+    return lambda: ServeClient(
+        socket_path=args.socket, host=args.host, port=args.port
+    )
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    import asyncio
+    import json
+
+    from .serve import (
+        COMPUTE_OPS,
+        ServeConnectionError,
+        ServeError,
+        canonical_dumps,
+        run_load,
+    )
+
+    factory = _client_factory(args)
+
+    if args.op == "load":
+        ops = tuple(o for o in args.ops.split(",") if o)
+        bad = [o for o in ops if o not in COMPUTE_OPS]
+        if bad or not ops:
+            raise CliError(
+                f"--ops must be a comma list from "
+                f"{', '.join(COMPUTE_OPS)}; got {args.ops!r}"
+            )
+        workloads = tuple(w for w in args.load_workloads.split(",") if w)
+        if not workloads:
+            raise CliError("--workloads must name at least one workload")
+
+        async def _load():
+            return await run_load(
+                factory,
+                ops=ops,
+                workloads=workloads,
+                requests=args.requests,
+                concurrency=args.concurrency,
+                overlay=args.overlay,
+                timeout_s=args.timeout,
+                expect_errors=args.expect_errors,
+            )
+
+        try:
+            report = asyncio.run(_load())
+        except ServeConnectionError as exc:
+            raise CliError(str(exc)) from exc
+        except ServeError as exc:
+            print(f"load failed: {exc}", file=sys.stderr)
+            return 1
+        print(report.render())
+        if args.json:
+            print(json.dumps(report.as_dict(), sort_keys=True))
+        if report.mismatches:
+            print("FAIL: duplicate requests returned divergent results")
+            return 1
+        computes = report.computes
+        if (
+            args.assert_coalescing
+            and computes is not None
+            and computes >= report.requests
+        ):
+            print(
+                f"FAIL: no coalescing/caching observed "
+                f"({computes} compiles for {report.requests} requests)"
+            )
+            return 1
+        return 0
+
+    if args.op in COMPUTE_OPS and not args.workload:
+        raise CliError(f"op {args.op!r} requires a workload name")
+
+    async def _one():
+        async with factory() as client:
+            return await client.request(
+                args.op,
+                workload=args.workload,
+                overlay=args.overlay,
+                timeout_s=args.timeout,
+            )
+
+    try:
+        result = asyncio.run(_one())
+    except ServeConnectionError as exc:
+        raise CliError(str(exc)) from exc
+    except ServeError as exc:
+        print(f"error [{exc.code}]: {exc}", file=sys.stderr)
+        return 1
+    if args.json or args.op in ("stats", "ping", "shutdown"):
+        print(canonical_dumps(result))
+    else:
+        for key, value in sorted(result.items()):
+            print(f"{key}: {value}")
+    return 0
+
+
 def _cmd_validate(args: argparse.Namespace) -> int:
     from .validate import validate_run
 
@@ -448,6 +623,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="annealer iterations between checkpoints (0 disables)",
     )
     dse.add_argument(
+        "--seed-timeout", type=float, default=None,
+        help="per-seed wall-clock budget in seconds (pool path only); a "
+             "timed-out seed is recorded as a failure and the job "
+             "degrades to best-of-survivors",
+    )
+    dse.add_argument(
         "--metrics", default=None,
         help="append engine events to this JSONL file",
     )
@@ -461,11 +642,21 @@ def build_parser() -> argparse.ArgumentParser:
     mp = sub.add_parser("map", help="schedule a workload onto a saved design")
     mp.add_argument("design")
     mp.add_argument("workload")
+    mp.add_argument(
+        "--json", action="store_true",
+        help="print the canonical result document (the byte-identity "
+             "reference for served results)",
+    )
     mp.set_defaults(func=_cmd_map)
 
     sim = sub.add_parser("simulate", help="simulate a workload on a design")
     sim.add_argument("design")
     sim.add_argument("workload")
+    sim.add_argument(
+        "--json", action="store_true",
+        help="print the canonical result document (the byte-identity "
+             "reference for served results)",
+    )
     sim.set_defaults(func=_cmd_simulate)
 
     rtl = sub.add_parser("rtl", help="emit structural Verilog")
@@ -554,6 +745,102 @@ def build_parser() -> argparse.ArgumentParser:
         help="append fuzz events to this JSONL file",
     )
     fuzz.set_defaults(func=_cmd_fuzz)
+
+    srv = sub.add_parser(
+        "serve",
+        help="serve map/estimate/simulate requests over loaded overlays "
+             "(JSON-lines, coalescing, admission control, graceful drain)",
+    )
+    srv.add_argument(
+        "designs", nargs="+", help="design JSON file(s) to serve"
+    )
+    srv.add_argument(
+        "--socket", default=None,
+        help="unix socket path to listen on (overrides --host/--port)",
+    )
+    srv.add_argument("--host", default="127.0.0.1")
+    srv.add_argument(
+        "--port", type=int, default=0,
+        help="TCP port (0 picks a free one, printed at startup)",
+    )
+    srv.add_argument(
+        "--queue-limit", type=int, default=64,
+        help="max requests in service before admission control sheds "
+             "load with 'overloaded' (default 64)",
+    )
+    srv.add_argument(
+        "--workers", type=int, default=2,
+        help="compile worker processes (0 = in-process threads)",
+    )
+    srv.add_argument(
+        "--default-timeout", type=float, default=30.0,
+        help="deadline for requests that carry no timeout_s (seconds)",
+    )
+    srv.add_argument(
+        "--drain-timeout", type=float, default=30.0,
+        help="max seconds graceful drain waits for in-flight requests",
+    )
+    srv.add_argument(
+        "--cache-dir", default=None,
+        help="persist served results in this artifact store directory",
+    )
+    srv.add_argument(
+        "--metrics", default=None,
+        help="append serve events to this JSONL file",
+    )
+    srv.set_defaults(func=_cmd_serve)
+
+    sb = sub.add_parser(
+        "submit",
+        help="submit requests to a running 'repro serve' (one-shot or load)",
+    )
+    sb.add_argument(
+        "op",
+        choices=("map", "estimate", "simulate", "ping", "stats",
+                 "shutdown", "load"),
+    )
+    sb.add_argument("workload", nargs="?", default=None)
+    sb.add_argument("--socket", default=None, help="server unix socket path")
+    sb.add_argument("--host", default="127.0.0.1")
+    sb.add_argument("--port", type=int, default=0)
+    sb.add_argument(
+        "--overlay", default=None,
+        help="overlay name (optional when the server holds exactly one)",
+    )
+    sb.add_argument(
+        "--timeout", type=float, default=None,
+        help="per-request deadline in seconds",
+    )
+    sb.add_argument(
+        "--json", action="store_true",
+        help="print the canonical result document",
+    )
+    sb.add_argument(
+        "--requests", type=int, default=64,
+        help="[load] total requests to fire (default 64)",
+    )
+    sb.add_argument(
+        "--concurrency", type=int, default=16,
+        help="[load] concurrent connections (default 16)",
+    )
+    sb.add_argument(
+        "--ops", default="map,estimate,simulate",
+        help="[load] comma list of compute ops to mix",
+    )
+    sb.add_argument(
+        "--workloads", dest="load_workloads", default="vecmax",
+        help="[load] comma list of workload names to mix",
+    )
+    sb.add_argument(
+        "--expect-errors", action="store_true",
+        help="[load] do not fail the run when requests error "
+             "(for admission-control experiments)",
+    )
+    sb.add_argument(
+        "--assert-coalescing", action="store_true",
+        help="[load] fail unless compiles < requests in server stats",
+    )
+    sb.set_defaults(func=_cmd_submit)
 
     val = sub.add_parser(
         "validate",

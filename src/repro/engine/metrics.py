@@ -56,6 +56,7 @@ class RunMetrics:
     objective: float = 0.0
     best_seed: Optional[int] = None
     crashed_seeds: List[int] = field(default_factory=list)
+    timed_out_seeds: List[int] = field(default_factory=list)
     resumed_seeds: List[int] = field(default_factory=list)
 
     @property
@@ -83,6 +84,7 @@ class RunMetrics:
             "objective": self.objective,
             "best_seed": self.best_seed,
             "crashed_seeds": self.crashed_seeds,
+            "timed_out_seeds": self.timed_out_seeds,
             "resumed_seeds": self.resumed_seeds,
         }
 

@@ -23,8 +23,9 @@ from __future__ import annotations
 
 import os
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeoutError
 from dataclasses import dataclass, field, replace
-from time import perf_counter
+from time import perf_counter, sleep
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..dse import DseConfig, DseResult, Explorer
@@ -55,6 +56,7 @@ class SeedJob:
     resume: bool = False
     config_key: str = ""
     inject_crash: bool = False   # fault-injection hook for tests
+    inject_hang_s: float = 0.0   # hang-injection hook for timeout tests
 
 
 @dataclass
@@ -63,10 +65,13 @@ class SeedOutcome:
     result: Optional[DseResult]
     error: Optional[str] = None
     resumed: bool = False
+    timed_out: bool = False
 
 
 def run_seed_job(job: SeedJob) -> SeedOutcome:
     """Run one seed's annealer (module-level so it pickles to workers)."""
+    if job.inject_hang_s:
+        sleep(job.inject_hang_s)
     if job.inject_crash:
         raise RuntimeError(f"injected crash (seed {job.seed})")
     config = replace(job.config, seed=job.seed)
@@ -119,9 +124,16 @@ class DseEngine:
         memory_cache: Optional[MemoryCache] = None,
         metrics: Optional[MetricsLogger] = None,
         checkpoint_every: int = DEFAULT_CHECKPOINT_EVERY,
+        seed_timeout: Optional[float] = None,
     ) -> None:
         self.cache_dir = cache_dir
         self.jobs = max(1, int(jobs))
+        #: Per-seed wall-clock budget (seconds), enforced through future
+        #: deadlines on the worker-pool path: a seed that exceeds it is
+        #: recorded as a failure and the job degrades to the best of the
+        #: survivors.  ``None`` disables; the serial in-process path
+        #: cannot preempt a running annealer and ignores it.
+        self.seed_timeout = seed_timeout
         self.memory = memory_cache if memory_cache is not None else MemoryCache()
         self.metrics = metrics if metrics is not None else MetricsLogger()
         self.checkpoint_every = checkpoint_every
@@ -146,6 +158,7 @@ class DseEngine:
         seeds: Optional[Sequence[int]] = None,
         resume: bool = False,
         inject_crash_seeds: Sequence[int] = (),
+        inject_hang: Optional[Dict[int, float]] = None,
     ) -> EngineResult:
         """Best-of-seeds DSE for ``workloads``, cached and fault-isolated."""
         config = config or DseConfig()
@@ -180,7 +193,7 @@ class DseEngine:
         started = perf_counter()
         outcomes = self._run_seeds(
             workloads, config, name, seed_list, key, resume,
-            set(inject_crash_seeds),
+            set(inject_crash_seeds), inject_hang or {},
         )
         wall = perf_counter() - started
 
@@ -200,6 +213,7 @@ class DseEngine:
         metrics.objective = best.result.choice.objective
         metrics.best_seed = best.seed
         metrics.crashed_seeds = [o.seed for o in outcomes if o.result is None]
+        metrics.timed_out_seeds = [o.seed for o in outcomes if o.timed_out]
         metrics.resumed_seeds = [o.seed for o in survivors if o.resumed]
         self.stats.absorb(metrics)
         self.metrics.emit("run_end", **metrics.as_dict())
@@ -250,8 +264,10 @@ class DseEngine:
         key: str,
         resume: bool,
         crash_seeds: set,
+        hang_seeds: Optional[Dict[int, float]] = None,
     ) -> List[SeedJob]:
         cfg_key = config_fingerprint(config)
+        hang_seeds = hang_seeds or {}
         jobs = []
         for seed in seeds:
             ckpt = (
@@ -270,6 +286,7 @@ class DseEngine:
                     resume=resume,
                     config_key=cfg_key,
                     inject_crash=seed in crash_seeds,
+                    inject_hang_s=hang_seeds.get(seed, 0.0),
                 )
             )
         return jobs
@@ -283,9 +300,11 @@ class DseEngine:
         key: str,
         resume: bool,
         crash_seeds: set,
+        hang_seeds: Optional[Dict[int, float]] = None,
     ) -> List[SeedOutcome]:
         jobs = self._make_jobs(
-            workloads, config, name, seeds, key, resume, crash_seeds
+            workloads, config, name, seeds, key, resume, crash_seeds,
+            hang_seeds,
         )
         if self.jobs > 1 and len(jobs) > 1:
             try:
@@ -298,13 +317,38 @@ class DseEngine:
 
     def _run_pool(self, jobs: List[SeedJob]) -> List[SeedOutcome]:
         outcomes: Dict[int, SeedOutcome] = {}
-        with ProcessPoolExecutor(
-            max_workers=min(self.jobs, len(jobs))
-        ) as pool:
+        pool = ProcessPoolExecutor(max_workers=min(self.jobs, len(jobs)))
+        timed_out = False
+        started = perf_counter()
+        try:
             futures = {pool.submit(run_seed_job, job): job for job in jobs}
             for future, job in futures.items():
+                remaining: Optional[float] = None
+                if self.seed_timeout is not None:
+                    # Every seed's clock starts at submission, so the
+                    # shared deadline is started + seed_timeout.
+                    remaining = max(
+                        0.0, started + self.seed_timeout - perf_counter()
+                    )
                 try:
-                    outcome = future.result()
+                    outcome = future.result(timeout=remaining)
+                except FutureTimeoutError:
+                    future.cancel()
+                    timed_out = True
+                    outcome = SeedOutcome(
+                        seed=job.seed,
+                        result=None,
+                        error=(
+                            f"timed out after {self.seed_timeout}s "
+                            "(seed_timeout)"
+                        ),
+                        timed_out=True,
+                    )
+                    self.metrics.emit(
+                        "seed_timeout",
+                        seed=job.seed,
+                        seed_timeout=self.seed_timeout,
+                    )
                 except Exception as exc:
                     outcome = SeedOutcome(
                         seed=job.seed, result=None, error=str(exc)
@@ -320,6 +364,10 @@ class DseEngine:
                         resumed=outcome.resumed,
                     )
                 outcomes[job.seed] = outcome
+        finally:
+            # On a timeout, don't join hung workers — cancel whatever is
+            # still queued and let the orphaned process die on its own.
+            pool.shutdown(wait=not timed_out, cancel_futures=timed_out)
         return [outcomes[job.seed] for job in jobs]
 
     def _run_isolated(self, job: SeedJob) -> SeedOutcome:

@@ -59,12 +59,14 @@ class ArtifactStore:
 
     def get(self, key: str, default: Any = None) -> Any:
         path = self._path(key)
-        if not path.exists():
-            self.stats.misses += 1
-            return default
         try:
             with open(path, "rb") as f:
                 value = pickle.load(f)
+        except FileNotFoundError:
+            # Absent — or discarded by a concurrent process between our
+            # lookup and open: a plain miss either way, never "corrupt".
+            self.stats.misses += 1
+            return default
         except Exception:
             # Truncated write, schema drift inside the pickle, bad disk —
             # all equivalent to "not cached"; drop the entry.
@@ -75,33 +77,48 @@ class ArtifactStore:
         self.stats.hits += 1
         return value
 
-    def put(self, key: str, value: Any, meta: Optional[Dict[str, Any]] = None) -> None:
-        path = self._path(key)
-        path.parent.mkdir(parents=True, exist_ok=True)
+    @staticmethod
+    def _write_atomic(path: Path, writer) -> None:
+        """Write via a temp file + ``os.replace`` so readers never see a
+        torn file — only the old content or the complete new content."""
         fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
         try:
-            with os.fdopen(fd, "wb") as f:
-                pickle.dump(value, f, protocol=pickle.HIGHEST_PROTOCOL)
+            with os.fdopen(fd, mode="wb") as f:
+                writer(f)
             os.replace(tmp, path)
         except BaseException:
             if os.path.exists(tmp):
                 os.unlink(tmp)
             raise
+
+    def put(self, key: str, value: Any, meta: Optional[Dict[str, Any]] = None) -> None:
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        self._write_atomic(
+            path,
+            lambda f: pickle.dump(value, f, protocol=pickle.HIGHEST_PROTOCOL),
+        )
         if meta is not None:
-            with open(self._meta_path(key), "w") as f:
-                json.dump(meta, f, indent=2, sort_keys=True)
+            blob = json.dumps(meta, indent=2, sort_keys=True).encode("utf-8")
+            self._write_atomic(self._meta_path(key), lambda f: f.write(blob))
         self.stats.puts += 1
 
     def __contains__(self, key: str) -> bool:
         return self._path(key).exists()
 
     def meta(self, key: str) -> Optional[Dict[str, Any]]:
+        """The JSON sidecar, or ``None`` when absent or unreadable.
+
+        A torn/unparseable sidecar (pre-atomic writers, bad disk) is
+        treated exactly like a missing one: no ``hits``/``corrupt``
+        accounting, no discard of the (independently valid) artifact.
+        """
         path = self._meta_path(key)
-        if not path.exists():
-            return None
         try:
             with open(path) as f:
                 return json.load(f)
+        except FileNotFoundError:
+            return None
         except Exception:
             return None
 

@@ -1,0 +1,329 @@
+"""Client for ``repro serve``: one-shot requests and a load generator.
+
+:class:`ServeClient` speaks the JSON-lines protocol over a unix socket
+or TCP, pipelining any number of concurrent requests on one connection
+(responses are matched back by request id).
+
+:func:`run_load` is the bundled load generator: it fires ``requests``
+total requests at ``concurrency`` in flight, cycling through an op ×
+workload mix.  Because the mix repeats, concurrent requests are
+frequently identical — exactly the traffic shape single-flight
+coalescing exists for — and the report cross-checks the server's
+``stats`` op to assert that compiles < requests.  Every response body is
+also verified byte-identical (canonical JSON) across duplicates of the
+same (op, workload) pair.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+from dataclasses import dataclass, field
+from time import perf_counter
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from .batcher import LatencyReservoir
+from .errors import ServeError, error_from_doc
+from .protocol import canonical_dumps, decode_line, encode_line
+
+
+class ServeConnectionError(ConnectionError):
+    """The server endpoint cannot be reached or died mid-request."""
+
+
+class ServeClient:
+    """Asyncio JSON-lines client with id-based response matching."""
+
+    def __init__(
+        self,
+        socket_path: Optional[str] = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self.socket_path = socket_path
+        self.host = host
+        self.port = port
+        self._reader: Optional[asyncio.StreamReader] = None
+        self._writer: Optional[asyncio.StreamWriter] = None
+        self._pending: Dict[str, "asyncio.Future[Dict[str, Any]]"] = {}
+        self._ids = itertools.count(1)
+        self._reader_task: Optional["asyncio.Task[None]"] = None
+        self._write_lock: Optional[asyncio.Lock] = None
+
+    async def __aenter__(self) -> "ServeClient":
+        await self.connect()
+        return self
+
+    async def __aexit__(self, *exc: Any) -> None:
+        await self.close()
+
+    async def connect(self) -> None:
+        try:
+            if self.socket_path:
+                self._reader, self._writer = await asyncio.open_unix_connection(
+                    self.socket_path
+                )
+            else:
+                self._reader, self._writer = await asyncio.open_connection(
+                    self.host, self.port
+                )
+        except (ConnectionError, OSError) as exc:
+            endpoint = self.socket_path or f"{self.host}:{self.port}"
+            raise ServeConnectionError(
+                f"cannot connect to repro serve at {endpoint}: {exc}"
+            ) from exc
+        self._write_lock = asyncio.Lock()
+        self._reader_task = asyncio.get_running_loop().create_task(
+            self._read_loop()
+        )
+
+    async def close(self) -> None:
+        if self._reader_task is not None:
+            self._reader_task.cancel()
+            try:
+                await self._reader_task
+            except (asyncio.CancelledError, Exception):
+                pass
+            self._reader_task = None
+        if self._writer is not None:
+            try:
+                self._writer.close()
+                await self._writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+            self._writer = None
+        self._fail_pending(ServeConnectionError("connection closed"))
+
+    def _fail_pending(self, exc: Exception) -> None:
+        for future in self._pending.values():
+            if not future.done():
+                future.set_exception(exc)
+        self._pending.clear()
+
+    async def _read_loop(self) -> None:
+        assert self._reader is not None
+        try:
+            while True:
+                line = await self._reader.readline()
+                if not line:
+                    break
+                doc = decode_line(line)
+                future = self._pending.pop(str(doc.get("id")), None)
+                if future is not None and not future.done():
+                    future.set_result(doc)
+        except asyncio.CancelledError:
+            raise
+        except Exception as exc:
+            self._fail_pending(
+                ServeConnectionError(f"read loop failed: {exc}")
+            )
+            return
+        self._fail_pending(ServeConnectionError("server closed connection"))
+
+    # -- request API ----------------------------------------------------
+    async def request_raw(self, doc: Dict[str, Any]) -> Dict[str, Any]:
+        """Send one request document; return the raw response document."""
+        assert self._writer is not None and self._write_lock is not None, (
+            "client is not connected"
+        )
+        req_id = doc.get("id") or f"c{next(self._ids)}"
+        doc = {**doc, "id": req_id}
+        future: "asyncio.Future[Dict[str, Any]]" = (
+            asyncio.get_running_loop().create_future()
+        )
+        self._pending[req_id] = future
+        async with self._write_lock:
+            self._writer.write(encode_line(doc))
+            await self._writer.drain()
+        return await future
+
+    async def request(
+        self,
+        op: str,
+        workload: Optional[str] = None,
+        overlay: Optional[str] = None,
+        timeout_s: Optional[float] = None,
+    ) -> Dict[str, Any]:
+        """One request; returns the ``result`` doc or raises the typed error."""
+        doc: Dict[str, Any] = {"op": op}
+        if workload is not None:
+            doc["workload"] = workload
+        if overlay is not None:
+            doc["overlay"] = overlay
+        if timeout_s is not None:
+            doc["timeout_s"] = timeout_s
+        response = await self.request_raw(doc)
+        if not response.get("ok"):
+            raise error_from_doc(response.get("error"))
+        return response["result"]
+
+    async def ping(self) -> Dict[str, Any]:
+        return await self.request("ping")
+
+    async def stats(self) -> Dict[str, Any]:
+        return await self.request("stats")
+
+    async def shutdown(self) -> Dict[str, Any]:
+        return await self.request("shutdown")
+
+
+async def wait_for_server(
+    client_factory, attempts: int = 50, delay_s: float = 0.1
+) -> None:
+    """Poll until a fresh client can ping the server (startup race)."""
+    last: Optional[Exception] = None
+    for _ in range(attempts):
+        try:
+            async with client_factory() as client:
+                await client.ping()
+                return
+        except (ServeConnectionError, OSError) as exc:
+            last = exc
+            await asyncio.sleep(delay_s)
+    raise ServeConnectionError(f"server never came up: {last}")
+
+
+# ----------------------------------------------------------------------
+# Load generation
+# ----------------------------------------------------------------------
+@dataclass
+class LoadReport:
+    """Outcome of one load run; renders and asserts the ISSUE criteria."""
+
+    requests: int = 0
+    ok: int = 0
+    errors: int = 0
+    error_codes: Dict[str, int] = field(default_factory=dict)
+    wall_s: float = 0.0
+    latency: LatencyReservoir = field(default_factory=LatencyReservoir)
+    #: canonical result bytes per (op, workload) — duplicates must match.
+    results: Dict[Tuple[str, str], str] = field(default_factory=dict)
+    mismatches: List[str] = field(default_factory=list)
+    server_stats: Optional[Dict[str, Any]] = None
+
+    @property
+    def throughput(self) -> float:
+        return self.requests / self.wall_s if self.wall_s else 0.0
+
+    @property
+    def computes(self) -> Optional[int]:
+        if self.server_stats is None:
+            return None
+        return self.server_stats["counters"].get("computes")
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "requests": self.requests,
+            "ok": self.ok,
+            "errors": self.errors,
+            "error_codes": dict(sorted(self.error_codes.items())),
+            "wall_s": self.wall_s,
+            "throughput_rps": self.throughput,
+            "latency": self.latency.as_dict(),
+            "mismatches": self.mismatches,
+            "computes": self.computes,
+        }
+
+    def render(self) -> str:
+        lat = self.latency.as_dict()
+        lines = [
+            f"load: {self.requests} requests in {self.wall_s:.2f}s "
+            f"({self.throughput:.0f} req/s), {self.ok} ok / "
+            f"{self.errors} errors",
+            f"latency: p50 {lat['p50_s'] * 1e3:.1f} ms, "
+            f"p95 {lat['p95_s'] * 1e3:.1f} ms, "
+            f"p99 {lat['p99_s'] * 1e3:.1f} ms, "
+            f"max {lat['max_s'] * 1e3:.1f} ms",
+        ]
+        if self.error_codes:
+            codes = ", ".join(
+                f"{code}={n}" for code, n in sorted(self.error_codes.items())
+            )
+            lines.append(f"error codes: {codes}")
+        if self.server_stats is not None:
+            c = self.server_stats["counters"]
+            f_ = self.server_stats["flights"]
+            lines.append(
+                f"server: {c['computes']} compiles for {self.requests} "
+                f"requests (coalesced {c['coalesced']}, memory hits "
+                f"{c['cache_memory']}, disk hits {c['cache_disk']}, "
+                f"coalesce rate {f_['coalesce_rate']:.0%})"
+            )
+        if self.mismatches:
+            lines.append(f"RESULT MISMATCHES: {self.mismatches}")
+        return "\n".join(lines)
+
+
+async def run_load(
+    client_factory,
+    ops: Sequence[str] = ("map", "estimate", "simulate"),
+    workloads: Sequence[str] = ("vecmax",),
+    requests: int = 64,
+    concurrency: int = 16,
+    overlay: Optional[str] = None,
+    timeout_s: Optional[float] = None,
+    expect_errors: bool = False,
+    fetch_stats: bool = True,
+) -> LoadReport:
+    """Fire a mixed, duplicate-heavy request stream; collect a report.
+
+    ``client_factory`` returns an unconnected :class:`ServeClient`; the
+    generator opens ``concurrency`` connections and drives them in
+    parallel, cycling the op × workload product so identical requests
+    overlap in flight.
+    """
+    report = LoadReport()
+    mix = [(op, wl) for wl in workloads for op in ops]
+    plan = [mix[i % len(mix)] for i in range(requests)]
+    queue: "asyncio.Queue[Tuple[str, str]]" = asyncio.Queue()
+    for item in plan:
+        queue.put_nowait(item)
+    lock = asyncio.Lock()
+
+    async def worker() -> None:
+        async with client_factory() as client:
+            while True:
+                try:
+                    op, wl = queue.get_nowait()
+                except asyncio.QueueEmpty:
+                    return
+                t0 = perf_counter()
+                try:
+                    result = await client.request(
+                        op, workload=wl, overlay=overlay, timeout_s=timeout_s
+                    )
+                except ServeError as exc:
+                    async with lock:
+                        report.errors += 1
+                        report.error_codes[exc.code] = (
+                            report.error_codes.get(exc.code, 0) + 1
+                        )
+                    continue
+                finally:
+                    latency = perf_counter() - t0
+                    async with lock:
+                        report.requests += 1
+                        report.latency.record(latency)
+                blob = canonical_dumps(result)
+                async with lock:
+                    report.ok += 1
+                    seen = report.results.setdefault((op, wl), blob)
+                    if seen != blob:
+                        report.mismatches.append(
+                            f"{op}/{wl}: divergent duplicate result"
+                        )
+
+    t_start = perf_counter()
+    await asyncio.gather(*(worker() for _ in range(max(1, concurrency))))
+    report.wall_s = perf_counter() - t_start
+    # errors counted requests too; reconcile to total attempted
+    report.requests = report.ok + report.errors
+    if fetch_stats:
+        async with client_factory() as client:
+            report.server_stats = await client.stats()
+    if not expect_errors and report.errors:
+        codes = ", ".join(sorted(report.error_codes))
+        raise ServeError(
+            f"load run hit {report.errors} errors ({codes}); see report"
+        )
+    return report

@@ -1,0 +1,91 @@
+"""Structured errors for the overlay-compilation service.
+
+Every failure the server can hand back to a client has a stable machine
+code (``error.code`` in the response document) so load generators and
+callers can branch without parsing prose:
+
+* ``bad_request`` — malformed JSON, unknown op/overlay/workload,
+  nonsensical fields.  The client's fault; retrying is pointless.
+* ``overloaded``  — admission control rejected the request because the
+  bounded queue is full.  Transient; back off and retry.
+* ``deadline``    — the request's deadline expired while queued or
+  computing.  The underlying compile keeps running and lands in the
+  artifact store, so a retry is usually a cache hit.
+* ``unmappable``  — the workload does not schedule onto the overlay.
+  A *successful* negative answer: deterministic, cacheable, final.
+* ``shutting_down`` — the server is draining and accepts no new work.
+* ``internal``    — an unexpected exception inside the worker.
+
+``ServeError.to_doc()`` is the wire form; :func:`error_from_doc` is the
+client-side inverse.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, Type
+
+
+class ServeError(Exception):
+    """Base class: a failure with a stable wire code."""
+
+    code = "internal"
+    #: Whether a client retry can plausibly succeed without any change.
+    retryable = False
+
+    def to_doc(self) -> Dict[str, Any]:
+        return {
+            "code": self.code,
+            "message": str(self),
+            "retryable": self.retryable,
+        }
+
+
+class BadRequestError(ServeError):
+    code = "bad_request"
+    retryable = False
+
+
+class OverloadedError(ServeError):
+    code = "overloaded"
+    retryable = True
+
+
+class DeadlineError(ServeError):
+    code = "deadline"
+    retryable = True
+
+
+class UnmappableError(ServeError):
+    code = "unmappable"
+    retryable = False
+
+
+class ShuttingDownError(ServeError):
+    code = "shutting_down"
+    retryable = True
+
+
+class InternalError(ServeError):
+    code = "internal"
+    retryable = False
+
+
+_BY_CODE: Dict[str, Type[ServeError]] = {
+    cls.code: cls
+    for cls in (
+        BadRequestError,
+        OverloadedError,
+        DeadlineError,
+        UnmappableError,
+        ShuttingDownError,
+        InternalError,
+    )
+}
+
+
+def error_from_doc(doc: Optional[Dict[str, Any]]) -> ServeError:
+    """Rebuild the typed exception a response's ``error`` field encodes."""
+    if not isinstance(doc, dict):
+        return InternalError("malformed error document")
+    cls = _BY_CODE.get(str(doc.get("code", "")), InternalError)
+    return cls(str(doc.get("message", "")))

@@ -1,0 +1,524 @@
+"""The asyncio overlay-compilation server.
+
+``OverlayServer`` holds one or more pre-built overlays (a ``SysADG``
+plus its content fingerprint) and serves ``map`` / ``estimate`` /
+``simulate`` requests over the JSON-lines protocol, on a unix socket or
+localhost TCP.  The serving pipeline per compute request:
+
+1. **Parse + resolve** — protocol validation, overlay lookup, workload
+   fingerprint (cached per name); failures answer ``bad_request``.
+2. **Admission** — a bounded :class:`~repro.serve.batcher.AdmissionGate`
+   slot must be free or the request is rejected *now* with a structured
+   ``overloaded`` error (load-shedding, never unbounded queueing).
+3. **Coalescing** — requests are keyed by ``(overlay fingerprint,
+   workload fingerprint, op)``; concurrent identical requests join a
+   single in-flight compute via
+   :class:`~repro.serve.batcher.SingleFlight`.
+4. **Cache tiers** — in-process memory map, then the persistent
+   :class:`~repro.engine.store.ArtifactStore` (shared with the DSE
+   engine, so results survive restarts), then a ``ProcessPoolExecutor``
+   worker running :func:`repro.serve.ops.compute_op` (thread-pool
+   fallback when the sandbox forbids subprocesses).
+5. **Deadline** — each waiter applies its own ``timeout_s`` via
+   ``asyncio.wait_for(asyncio.shield(task))``; expiry answers a
+   ``deadline`` error while the shared compute keeps running and lands
+   in the cache for the retry.
+6. **Metrics + spans** — every request emits a ``request`` event into a
+   :class:`~repro.engine.metrics.MetricsLogger` JSONL stream (queue
+   depth, cache tier, coalesced flag, latency) under
+   ``profile.tracer`` spans (``serve.request`` / ``serve.compute``);
+   drain emits a ``serve_summary`` with coalesce/admission/latency
+   percentiles.
+
+Shutdown is graceful: a ``shutdown`` op (or signal, wired by the CLI)
+stops the listeners, rejects new compute work with ``shutting_down``,
+waits for in-flight requests up to ``drain_timeout_s``, then resolves
+:meth:`OverlayServer.wait_closed`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass, field
+from time import perf_counter
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..adg import SysADG, load_sysadg, sysadg_to_dict
+from ..engine.metrics import MetricsLogger
+from ..engine.store import ArtifactStore
+from ..profile import tracer
+from .batcher import AdmissionGate, LatencyReservoir, SingleFlight
+from .errors import (
+    BadRequestError,
+    DeadlineError,
+    InternalError,
+    ServeError,
+    ShuttingDownError,
+)
+from .ops import compute_op, overlay_fingerprint, result_key, workload_fp
+from .protocol import (
+    MAX_LINE_BYTES,
+    PROTOCOL_VERSION,
+    Request,
+    decode_line,
+    encode_line,
+    parse_request,
+    response_doc,
+)
+
+
+@dataclass
+class ServeConfig:
+    """Everything the server needs to listen and bound itself."""
+
+    socket_path: Optional[str] = None
+    host: str = "127.0.0.1"
+    port: int = 0
+    #: Max compute requests in service (queued + executing) before
+    #: admission control sheds load with ``overloaded``.
+    queue_limit: int = 64
+    #: Worker processes for CPU-bound compiles; 0 means "in-process
+    #: threads" (used by tests and as the sandbox fallback).
+    workers: int = 2
+    #: Deadline applied when a request carries no ``timeout_s``.
+    default_timeout_s: float = 30.0
+    #: How long graceful drain waits for in-flight requests.
+    drain_timeout_s: float = 30.0
+    #: Artifact-store directory for served results (None disables).
+    cache_dir: Optional[str] = None
+
+
+@dataclass
+class OverlayEntry:
+    """One loaded design, ready to serve."""
+
+    name: str
+    sysadg: SysADG
+    design_doc: Dict[str, Any] = field(repr=False, default_factory=dict)
+    fingerprint: str = ""
+
+
+class OverlayServer:
+    """Long-lived compile service over pre-built overlays."""
+
+    def __init__(
+        self,
+        config: Optional[ServeConfig] = None,
+        metrics: Optional[MetricsLogger] = None,
+    ) -> None:
+        self.config = config or ServeConfig()
+        self.metrics = metrics if metrics is not None else MetricsLogger()
+        self.overlays: Dict[str, OverlayEntry] = {}
+        self.gate = AdmissionGate(self.config.queue_limit)
+        self.flights = SingleFlight()
+        self.latency = LatencyReservoir()
+        self.counters: Dict[str, int] = {
+            "requests": 0,
+            "responses_ok": 0,
+            "responses_error": 0,
+            "computes": 0,
+            "cache_memory": 0,
+            "cache_disk": 0,
+            "coalesced": 0,
+        }
+        self.store: Optional[ArtifactStore] = (
+            ArtifactStore(self.config.cache_dir)
+            if self.config.cache_dir
+            else None
+        )
+        self._memory: Dict[str, Tuple[str, Dict[str, Any]]] = {}
+        self._workload_fps: Dict[str, str] = {}
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._executor: Optional[Executor] = None
+        self._executor_kind = "none"
+        self._draining = False
+        self._closed: Optional[asyncio.Event] = None
+        self._conn_tasks: "set[asyncio.Task[Any]]" = set()
+        self._writers: "set[asyncio.StreamWriter]" = set()
+        self.endpoint: Optional[Tuple[str, Any]] = None
+
+    # -- overlay registry ----------------------------------------------
+    def add_overlay(self, sysadg: SysADG, name: Optional[str] = None) -> str:
+        """Register a design; returns the name it is served under."""
+        name = name or sysadg.name
+        self.overlays[name] = OverlayEntry(
+            name=name,
+            sysadg=sysadg,
+            design_doc=sysadg_to_dict(sysadg),
+            fingerprint=overlay_fingerprint(sysadg),
+        )
+        return name
+
+    def load_design(self, path: str, name: Optional[str] = None) -> str:
+        return self.add_overlay(load_sysadg(path), name=name)
+
+    def _resolve_overlay(self, name: Optional[str]) -> OverlayEntry:
+        if name is None:
+            if len(self.overlays) == 1:
+                return next(iter(self.overlays.values()))
+            raise BadRequestError(
+                f"server holds {len(self.overlays)} overlays "
+                f"({', '.join(sorted(self.overlays)) or 'none'}); "
+                "request must name one"
+            )
+        entry = self.overlays.get(name)
+        if entry is None:
+            raise BadRequestError(
+                f"unknown overlay {name!r}; loaded: "
+                f"{', '.join(sorted(self.overlays)) or 'none'}"
+            )
+        return entry
+
+    def _workload_fp(self, name: str) -> str:
+        fp = self._workload_fps.get(name)
+        if fp is None:
+            fp = self._workload_fps[name] = workload_fp(name)
+        return fp
+
+    # -- lifecycle ------------------------------------------------------
+    async def start(self) -> None:
+        if not self.overlays:
+            raise ValueError("cannot start a server with no overlays loaded")
+        self._closed = asyncio.Event()
+        self._make_executor()
+        cfg = self.config
+        if cfg.socket_path:
+            if os.path.exists(cfg.socket_path):
+                os.unlink(cfg.socket_path)
+            self._server = await asyncio.start_unix_server(
+                self._handle_connection,
+                path=cfg.socket_path,
+                limit=MAX_LINE_BYTES,
+            )
+            self.endpoint = ("unix", cfg.socket_path)
+        else:
+            self._server = await asyncio.start_server(
+                self._handle_connection,
+                host=cfg.host,
+                port=cfg.port,
+                limit=MAX_LINE_BYTES,
+            )
+            sock = self._server.sockets[0]
+            self.endpoint = ("tcp", sock.getsockname()[:2])
+        self.metrics.emit(
+            "serve_start",
+            protocol=PROTOCOL_VERSION,
+            endpoint=list(self.endpoint),
+            overlays={n: e.fingerprint for n, e in self.overlays.items()},
+            queue_limit=cfg.queue_limit,
+            workers=cfg.workers,
+            executor=self._executor_kind,
+            cache_dir=cfg.cache_dir,
+        )
+
+    def _make_executor(self) -> None:
+        workers = self.config.workers
+        if workers > 0:
+            try:
+                self._executor = ProcessPoolExecutor(max_workers=workers)
+                self._executor_kind = "process"
+                return
+            except OSError:
+                self.metrics.emit("pool_unavailable", workers=workers)
+        self._executor = ThreadPoolExecutor(
+            max_workers=max(1, workers or 1),
+            thread_name_prefix="serve-compute",
+        )
+        self._executor_kind = "thread"
+
+    async def wait_closed(self) -> None:
+        """Resolve once a drain (shutdown op or :meth:`shutdown`) ends."""
+        assert self._closed is not None, "server not started"
+        await self._closed.wait()
+
+    async def shutdown(self) -> None:
+        """Graceful drain: stop listening, finish in-flight, close."""
+        if self._closed is None or self._closed.is_set():
+            return
+        if self._draining:
+            await self._closed.wait()
+            return
+        self._draining = True
+        if self._server is not None:
+            # close() only — on 3.12+ wait_closed() also waits for every
+            # connection handler, which deadlocks against clients holding
+            # their connection open while they await the drain.
+            self._server.close()
+        pending = [t for t in self._conn_tasks if not t.done()]
+        if pending:
+            done, late = await asyncio.wait(
+                pending, timeout=self.config.drain_timeout_s
+            )
+            for task in late:
+                task.cancel()
+        await asyncio.wait_for(
+            self.flights.drain(), timeout=self.config.drain_timeout_s
+        )
+        # Close lingering client transports so their handler coroutines
+        # exit through EOF rather than being cancelled at loop teardown.
+        for writer in list(self._writers):
+            try:
+                writer.close()
+            except (ConnectionError, OSError):
+                pass
+        if self._executor is not None:
+            self._executor.shutdown(wait=False, cancel_futures=True)
+        self.metrics.emit("serve_summary", **self.stats_doc())
+        if self.config.socket_path and os.path.exists(self.config.socket_path):
+            os.unlink(self.config.socket_path)
+        self._closed.set()
+
+    # -- connection handling -------------------------------------------
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        write_lock = asyncio.Lock()
+        request_tasks: "set[asyncio.Task[Any]]" = set()
+        self._writers.add(writer)
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except (ValueError, asyncio.LimitOverrunError):
+                    await self._write(
+                        writer,
+                        write_lock,
+                        response_doc(
+                            "?",
+                            error=BadRequestError(
+                                f"request line exceeds {MAX_LINE_BYTES} bytes"
+                            ).to_doc(),
+                        ),
+                    )
+                    break
+                if not line:
+                    break
+                if not line.strip():
+                    continue
+                task = asyncio.get_running_loop().create_task(
+                    self._serve_line(line, writer, write_lock)
+                )
+                request_tasks.add(task)
+                self._conn_tasks.add(task)
+                task.add_done_callback(request_tasks.discard)
+                task.add_done_callback(self._conn_tasks.discard)
+            if request_tasks:
+                await asyncio.gather(*request_tasks, return_exceptions=True)
+        except asyncio.CancelledError:
+            # Exit quietly: asyncio owns this task, and on 3.11 its
+            # StreamReaderProtocol done-callback calls task.exception()
+            # on a cancelled handler, logging a spurious "Exception in
+            # callback" traceback per connection if we propagate.
+            pass
+        finally:
+            self._writers.discard(writer)
+            # close() without awaiting wait_closed(): this task may be
+            # cancelled at loop teardown, and an await here would surface
+            # as a spurious CancelledError in asyncio's protocol callback.
+            try:
+                writer.close()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _write(
+        self,
+        writer: asyncio.StreamWriter,
+        lock: asyncio.Lock,
+        doc: Dict[str, Any],
+    ) -> None:
+        async with lock:
+            writer.write(encode_line(doc))
+            try:
+                await writer.drain()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _serve_line(
+        self,
+        line: bytes,
+        writer: asyncio.StreamWriter,
+        write_lock: asyncio.Lock,
+    ) -> None:
+        req_id = "?"
+        try:
+            doc = decode_line(line)
+            req_id = str(doc.get("id", "?"))
+            request = parse_request(doc)
+            response = await self._dispatch(request)
+        except ServeError as exc:
+            self.counters["responses_error"] += 1
+            response = response_doc(req_id, error=exc.to_doc())
+        except Exception as exc:  # never kill the connection loop
+            self.counters["responses_error"] += 1
+            response = response_doc(
+                req_id, error=InternalError(f"{type(exc).__name__}: {exc}").to_doc()
+            )
+        await self._write(writer, write_lock, response)
+
+    # -- request dispatch ----------------------------------------------
+    async def _dispatch(self, request: Request) -> Dict[str, Any]:
+        self.counters["requests"] += 1
+        if request.op == "ping":
+            return response_doc(
+                request.id,
+                result={"pong": True, "protocol": PROTOCOL_VERSION},
+            )
+        if request.op == "stats":
+            return response_doc(request.id, result=self.stats_doc())
+        if request.op == "shutdown":
+            # Answer first, then drain in the background so the reply
+            # reaches the client before the connection dies.
+            asyncio.get_running_loop().create_task(self.shutdown())
+            return response_doc(request.id, result={"draining": True})
+        return await self._dispatch_compute(request)
+
+    async def _dispatch_compute(self, request: Request) -> Dict[str, Any]:
+        t_arrival = perf_counter()
+        if self._draining:
+            raise ShuttingDownError("server is draining; no new work")
+        entry = self._resolve_overlay(request.overlay)
+        assert request.workload is not None  # parse_request enforced it
+        key = result_key(
+            entry.fingerprint, self._workload_fp(request.workload), request.op
+        )
+        timeout = request.timeout_s or self.config.default_timeout_s
+        self.gate.admit()
+        try:
+            with tracer.span(
+                "serve.request", op=request.op, workload=request.workload
+            ):
+                task, is_leader = self.flights.join(
+                    key, lambda: self._compute(key, entry, request)
+                )
+                if not is_leader:
+                    self.counters["coalesced"] += 1
+                try:
+                    payload, tier, queue_wait = await asyncio.wait_for(
+                        asyncio.shield(task), timeout=timeout
+                    )
+                except asyncio.TimeoutError:
+                    raise DeadlineError(
+                        f"deadline of {timeout:.3f}s expired for "
+                        f"{request.op}/{request.workload} "
+                        "(compute continues; retry will hit the cache)"
+                    ) from None
+        finally:
+            self.gate.release()
+        latency = perf_counter() - t_arrival
+        self.latency.record(latency)
+        served = {
+            "cache": tier,
+            "coalesced": not is_leader,
+            "latency_s": latency,
+            "queue_wait_s": queue_wait if is_leader else latency,
+        }
+        kind, payload_doc = payload
+        self.metrics.emit(
+            "request",
+            op=request.op,
+            overlay=entry.name,
+            workload=request.workload,
+            ok=kind == "ok",
+            cache=tier,
+            coalesced=not is_leader,
+            latency_s=latency,
+            in_service=self.gate.in_service,
+        )
+        if kind == "error":
+            self.counters["responses_error"] += 1
+            return response_doc(request.id, error=payload_doc, served=served)
+        self.counters["responses_ok"] += 1
+        return response_doc(request.id, result=payload_doc, served=served)
+
+    async def _compute(
+        self, key: str, entry: OverlayEntry, request: Request
+    ) -> Tuple[Tuple[str, Dict[str, Any]], str, float]:
+        """Leader body: memory tier → store tier → worker pool."""
+        t_start = perf_counter()
+        cached = self._memory.get(key)
+        if cached is not None:
+            self.counters["cache_memory"] += 1
+            return cached, "memory", 0.0
+        if self.store is not None:
+            stored = self.store.get(key)
+            if stored is not None:
+                self.counters["cache_disk"] += 1
+                self._memory[key] = ("ok", stored)
+                return ("ok", stored), "disk", 0.0
+        loop = asyncio.get_running_loop()
+        assert self._executor is not None, "server not started"
+        with tracer.span(
+            "serve.compute", op=request.op, workload=request.workload
+        ):
+            self.counters["computes"] += 1
+            queue_wait = perf_counter() - t_start
+            try:
+                doc = await loop.run_in_executor(
+                    self._executor,
+                    compute_op,
+                    request.op,
+                    entry.design_doc,
+                    request.workload,
+                )
+            except ServeError as exc:
+                # Deterministic negative answers (unmappable, bad
+                # workload) coalesce and memoize like positive ones.
+                outcome = ("error", exc.to_doc())
+                self._memory[key] = outcome
+                return outcome, "compute", queue_wait
+        self._memory[key] = ("ok", doc)
+        if self.store is not None:
+            self.store.put(
+                key,
+                doc,
+                meta={
+                    "kind": "serve_result",
+                    "op": request.op,
+                    "overlay": entry.name,
+                    "overlay_fp": entry.fingerprint,
+                    "workload": request.workload,
+                },
+            )
+        return ("ok", doc), "compute", queue_wait
+
+    # -- introspection --------------------------------------------------
+    def stats_doc(self) -> Dict[str, Any]:
+        doc: Dict[str, Any] = {
+            "protocol": PROTOCOL_VERSION,
+            "overlays": sorted(self.overlays),
+            "executor": self._executor_kind,
+            "draining": self._draining,
+            "counters": dict(self.counters),
+            "admission": self.gate.as_dict(),
+            "flights": self.flights.stats.as_dict(),
+            "latency": self.latency.as_dict(),
+        }
+        if self.store is not None:
+            doc["store"] = self.store.stats.as_dict()
+        return doc
+
+
+async def serve_until_shutdown(
+    server: OverlayServer, signals: Optional[List[int]] = None
+) -> None:
+    """Start, install signal-driven drain, and block until closed."""
+    import signal as _signal
+
+    await server.start()
+    loop = asyncio.get_running_loop()
+    installed: List[int] = []
+    for sig in signals or [_signal.SIGINT, _signal.SIGTERM]:
+        try:
+            loop.add_signal_handler(
+                sig, lambda: loop.create_task(server.shutdown())
+            )
+            installed.append(sig)
+        except (NotImplementedError, RuntimeError, ValueError):
+            pass
+    try:
+        await server.wait_closed()
+    finally:
+        for sig in installed:
+            loop.remove_signal_handler(sig)

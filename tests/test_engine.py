@@ -203,6 +203,39 @@ class TestEngine:
         assert log_path.exists()
         assert len(log_path.read_text().strip().splitlines()) == len(events)
 
+    def test_seed_timeout_degrades_to_survivors(self, tmp_path):
+        """A hung worker no longer blocks the job: the timed-out seed is
+        recorded as a failure and the best survivor wins (satellite)."""
+        eng = DseEngine(jobs=2, cache_dir=str(tmp_path), seed_timeout=0.5)
+        res = eng.explore(
+            FIR, FAST, name="fir", seeds=[2, 3],
+            inject_hang={3: 15.0},
+        )
+        assert res.metrics.timed_out_seeds == [3]
+        assert res.metrics.crashed_seeds == [3]  # recorded as a failure
+        assert res.metrics.best_seed == 2
+        hung = [o for o in res.outcomes if o.seed == 3][0]
+        assert hung.timed_out and "seed_timeout" in (hung.error or "")
+        assert eng.metrics.of_type("seed_timeout")
+        baseline = explore(FIR, dataclasses.replace(FAST, seed=2), name="fir")
+        assert res.objective == baseline.choice.objective
+
+    def test_all_seeds_timing_out_raises(self, tmp_path):
+        eng = DseEngine(jobs=2, cache_dir=str(tmp_path), seed_timeout=0.2)
+        with pytest.raises(EngineError, match="timed out"):
+            eng.explore(
+                FIR, FAST, name="fir", seeds=[2, 3],
+                inject_hang={2: 15.0, 3: 15.0},
+            )
+
+    def test_no_timeout_when_seeds_finish_in_time(self, tmp_path):
+        eng = DseEngine(jobs=2, cache_dir=str(tmp_path), seed_timeout=120.0)
+        res = eng.explore(FIR, FAST, name="fir", seeds=[2, 3])
+        assert res.metrics.timed_out_seeds == []
+        assert res.metrics.crashed_seeds == []
+        ref = DseEngine(jobs=2).explore(FIR, FAST, name="fir", seeds=[2, 3])
+        assert res.objective == ref.objective
+
     def test_shared_memory_cache(self, tmp_path):
         shared = MemoryCache()
         eng = DseEngine(memory_cache=shared)
