@@ -19,9 +19,15 @@ Commands mirror the library's main flows:
   ``--compare BASELINE.json`` regression checks
 * ``fuzz``                 — differential model-vs-simulator fuzzing:
   generate random cases, check invariants, shrink failures, record them
-  in the divergence corpus
+  in the divergence corpus; exits 1 when new failures (or invariant
+  violations) are recorded
+* ``soak``                 — sharded, resumable fuzz campaign: splits the
+  seed range across worker processes, checkpoints finished shards,
+  merges to a deterministic triage report, and can promote minimal
+  repros to committed regression tests (``--promote``)
 * ``validate``             — structural invariants over the built-in
-  suite + replay of the divergence corpus
+  suite + replay of the divergence corpus and (``--regression``) of
+  promoted regression cases
 * ``serve``                — long-lived overlay-compilation service:
   JSON-lines requests over a unix socket or localhost TCP, bounded
   queue with admission control, single-flight coalescing, process
@@ -396,7 +402,72 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
         max_mutations=args.max_mutations,
     )
     print(stats.render())
-    return 1 if stats.invariant_violations else 0
+    # A failure is "new" when this run added it to the corpus; without a
+    # corpus there is no memory, so every failure counts as new.
+    new_failures = (
+        sum(1 for f in stats.failures if f.was_new)
+        if args.corpus
+        else len(stats.failures)
+    )
+    if new_failures:
+        print(f"new failures: {new_failures}")
+    return 1 if (stats.invariant_violations or new_failures) else 0
+
+
+def _cmd_soak(args: argparse.Namespace) -> int:
+    from .engine import MetricsLogger
+    from .validate.soak import CampaignConfig, SoakError, soak_run
+
+    config = CampaignConfig(
+        budget=args.budget,
+        seed=args.seed,
+        shards=args.shards,
+        max_mutations=args.max_mutations,
+        shrink_budget=args.shrink_budget,
+        bands=_bands(args),
+    )
+    try:
+        report = soak_run(
+            config,
+            state_dir=args.state,
+            corpus_dir=args.corpus,
+            jobs=args.jobs,
+            resume=args.resume,
+            metrics=MetricsLogger(args.metrics),
+            promote_dir=args.promote,
+            promote_dry_run=args.dry_run,
+        )
+    except SoakError as exc:
+        print(f"soak failed: {exc}", file=sys.stderr)
+        return 1
+    text = report.render()
+    print(text)
+    if args.report:
+        with open(args.report, "w") as f:
+            f.write(text + "\n")
+        print(f"wrote triage report to {args.report}")
+    # Execution detail (how the split went) stays out of the triage
+    # report so it is shard-count independent; surface it here instead.
+    if report.cached_shards:
+        print(
+            f"resumed: shard(s) {report.cached_shards} answered from "
+            f"checkpoints"
+        )
+    if report.crashed_shards:
+        print(f"DEGRADED: shard(s) {report.crashed_shards} crashed")
+    if report.corpus_migrated:
+        print(
+            f"corpus migration dropped {report.corpus_migrated} "
+            f"redundant entr{'y' if report.corpus_migrated == 1 else 'ies'}"
+        )
+    if report.promoted:
+        verb = "would promote" if report.promote_dry_run else "promoted"
+        print(
+            f"{verb} {len(report.promoted)} regression case(s): "
+            + ", ".join(report.promoted)
+        )
+    print(f"new failures: {report.new_failures}")
+    return 0 if report.ok else 1
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
@@ -555,7 +626,21 @@ def _cmd_validate(args: argparse.Namespace) -> int:
 
     report = validate_run(corpus_dir=args.corpus, bands=_bands(args))
     print(report.render())
-    return 0 if report.ok else 1
+    rc = 0 if report.ok else 1
+    if args.regression:
+        from .validate import replay_promoted_dir
+
+        rows = replay_promoted_dir(args.regression)
+        changed = [(n, e, a) for n, e, a in rows if a != e]
+        print(
+            f"promoted regression cases: {len(rows) - len(changed)}/"
+            f"{len(rows)} reproduce their recorded failure key"
+        )
+        for name, expected, actual in changed:
+            print(f"  CHANGED {name}: expected {expected!r}, got {actual!r}")
+        if changed:
+            rc = 1
+    return rc
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -746,6 +831,74 @@ def build_parser() -> argparse.ArgumentParser:
     )
     fuzz.set_defaults(func=_cmd_fuzz)
 
+    soak = sub.add_parser(
+        "soak",
+        help="sharded resumable fuzz campaign: checkpointed shards, "
+             "deterministic merged triage report, regression promotion",
+    )
+    soak.add_argument(
+        "--budget", type=int, default=200,
+        help="total cases across all shards (default 200)",
+    )
+    soak.add_argument("-s", "--seed", type=int, default=0)
+    soak.add_argument(
+        "--shards", type=int, default=4,
+        help="independent seed-range slices (default 4); the merged "
+             "report is identical for any shard count",
+    )
+    soak.add_argument(
+        "-j", "--jobs", type=int, default=None,
+        help="worker processes (default: min(shards, cpu count))",
+    )
+    soak.add_argument(
+        "--state", default=None,
+        help="campaign state directory; finished shards checkpoint here "
+             "(required for --resume)",
+    )
+    soak.add_argument(
+        "--resume", action="store_true",
+        help="answer already-finished shards from --state checkpoints",
+    )
+    soak.add_argument(
+        "--corpus", default=None,
+        help="divergence-corpus directory (minimal repros persist here)",
+    )
+    soak.add_argument(
+        "--promote", default=None, metavar="DIR",
+        help="freeze each deduped minimal repro as a committed regression "
+             "case (JSON + generated pytest module) under DIR",
+    )
+    soak.add_argument(
+        "--dry-run", action="store_true",
+        help="with --promote: name the cases without writing files",
+    )
+    soak.add_argument(
+        "--report", default=None, metavar="FILE",
+        help="also write the triage report to FILE (byte-identical for "
+             "identical campaigns)",
+    )
+    soak.add_argument(
+        "--rel-tol", type=float, default=None,
+        help="override every per-class relative tolerance",
+    )
+    soak.add_argument(
+        "--abs-floor", type=float, default=None,
+        help="absolute cycle gap always forgiven (default 64; 0 disables)",
+    )
+    soak.add_argument(
+        "--max-mutations", type=int, default=6,
+        help="max random ADG mutations per case",
+    )
+    soak.add_argument(
+        "--shrink-budget", type=int, default=120,
+        help="max oracle evaluations per shrink (default 120)",
+    )
+    soak.add_argument(
+        "--metrics", default=None,
+        help="append campaign events to this JSONL file",
+    )
+    soak.set_defaults(func=_cmd_soak)
+
     srv = sub.add_parser(
         "serve",
         help="serve map/estimate/simulate requests over loaded overlays "
@@ -857,6 +1010,11 @@ def build_parser() -> argparse.ArgumentParser:
     val.add_argument(
         "--abs-floor", type=float, default=None,
         help="absolute cycle gap always forgiven during replay",
+    )
+    val.add_argument(
+        "--regression", default=None, metavar="DIR",
+        help="also replay promoted regression cases under DIR (from "
+             "'repro soak --promote'); exits 1 on behaviour changes",
     )
     val.set_defaults(func=_cmd_validate)
 

@@ -439,6 +439,45 @@ def _model_fidelity_section(budget: int = 60, seed: int = 0) -> str:
     return "\n".join(lines)
 
 
+def _soak_section(budget: int = 48, seed: int = 3, shards: int = 4) -> str:
+    """A small fixed-seed soak campaign with zero-tolerance bands.
+
+    Zero tolerance flags every model/sim disagreement, so the campaign
+    deliberately "finds" the model's known approximations; the point
+    here is the campaign machinery — sharded execution, cross-shard
+    dedup to one minimal repro per failure signature, and a triage
+    report whose bytes do not depend on the shard split.
+    """
+    from ..validate import ToleranceBands
+    from ..validate.soak import CampaignConfig, soak_run
+
+    config = CampaignConfig(
+        budget=budget,
+        seed=seed,
+        shards=shards,
+        bands=ToleranceBands(
+            compute=0.0, memory=0.0, aux=0.0, abs_floor=0.0
+        ),
+        shrink_budget=40,
+    )
+    report = soak_run(config, jobs=1)
+    lines = ["## Soak campaign — sharded differential fuzzing", ""]
+    lines.append(
+        f"`repro soak --budget {budget} --seed {seed} --shards {shards} "
+        f"--rel-tol 0 --abs-floor 0`: every model/sim gap is flagged, so "
+        f"the campaign reduces {report.raw_failures} raw failures to "
+        f"{len(report.failures)} unique minimal repros (one per failure "
+        f"signature).  The triage report below is byte-identical for any "
+        f"`--shards` value, and `--promote` freezes each repro as a "
+        f"pytest-collected regression case (see `tests/regression/`)."
+    )
+    lines.append("")
+    lines.append("```")
+    lines.append(report.render())
+    lines.append("```")
+    return "\n".join(lines)
+
+
 def _serve_section(requests: int = 128, concurrency: int = 32) -> str:
     """Overlay-compilation service under a duplicate-heavy load.
 
@@ -556,6 +595,7 @@ def generate_report() -> str:
         _fig19_section(),
         _fig20_section(),
         _model_fidelity_section(),
+        _soak_section(),
         _engine_section(),
         _serve_section(),
     ]

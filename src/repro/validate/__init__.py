@@ -11,7 +11,9 @@ one-off validation into a regression-tested property:
   per-bottleneck-class tolerance bands,
 * :mod:`shrinker` — greedy minimization of failing cases,
 * :mod:`corpus` — content-addressed storage of minimal repros,
-* :mod:`runner` — the ``repro fuzz`` / ``repro validate`` drivers.
+* :mod:`runner` — the ``repro fuzz`` / ``repro validate`` drivers,
+* :mod:`soak` — sharded, resumable fuzz campaigns (``repro soak``),
+* :mod:`promote` — freezing minimal repros as committed regression tests.
 """
 
 from .corpus import DivergenceCorpus, case_key
@@ -21,6 +23,7 @@ from .generators import (
     ProgramSpec,
     StatementSpec,
     TermSpec,
+    case_size,
     random_case,
     random_program,
 )
@@ -38,7 +41,13 @@ from .oracle import (
     classify_bottleneck,
     run_oracle,
 )
+from .promote import (
+    promote_failures,
+    replay_promoted,
+    replay_promoted_dir,
+)
 from .runner import (
+    CaseRecord,
     Failure,
     FuzzStats,
     ValidateReport,
@@ -48,8 +57,11 @@ from .runner import (
     validate_run,
 )
 from .shrinker import ShrinkResult, shrink
+from .soak import CampaignConfig, SoakError, SoakReport, soak_run
 
 __all__ = [
+    "CampaignConfig",
+    "CaseRecord",
     "DivergenceCorpus",
     "Failure",
     "FuzzCase",
@@ -58,12 +70,15 @@ __all__ = [
     "OracleResult",
     "ProgramSpec",
     "ShrinkResult",
+    "SoakError",
+    "SoakReport",
     "StatementSpec",
     "TermSpec",
     "ToleranceBands",
     "ValidateReport",
     "Violation",
     "case_key",
+    "case_size",
     "check_adg",
     "check_case",
     "check_resources",
@@ -73,9 +88,13 @@ __all__ = [
     "failure_key_of",
     "fuzz_run",
     "make_failure_key",
+    "promote_failures",
     "random_case",
     "random_program",
+    "replay_promoted",
+    "replay_promoted_dir",
     "run_oracle",
     "shrink",
+    "soak_run",
     "validate_run",
 ]

@@ -4,12 +4,19 @@ Every shrunk failing case is stored as a plain-JSON document under its
 content fingerprint, so:
 
 * the same divergence found twice (or by two seeds) occupies one entry,
+* one *failure signature* keeps one minimal repro: a model bug hit by a
+  hundred generated cases stores the smallest witness instead of a
+  hundred near-duplicates (:meth:`DivergenceCorpus.add` dedupes by
+  ``failure_key``, replacing the stored case only when a strictly
+  smaller one arrives),
 * ``repro validate`` replays the corpus deterministically, and
 * corpus files are diffable artifacts a human can read.
 
 Entries carry the failure key and oracle summary in the artifact metadata
 sidecar — deliberately without timestamps, so back-to-back runs with the
-same seed produce byte-identical stores.
+same seed produce byte-identical stores.  Corpora written before the
+failure-key dedup existed can hold several entries per signature;
+:meth:`DivergenceCorpus.migrate` collapses them to the smallest witness.
 """
 
 from __future__ import annotations
@@ -18,7 +25,7 @@ from typing import Dict, Iterator, List, Optional, Tuple
 
 from ..engine.hashing import fingerprint
 from ..engine.store import ArtifactStore
-from .generators import FuzzCase
+from .generators import FuzzCase, case_size
 
 #: Storage schema version for corpus entries.
 CORPUS_VERSION = 1
@@ -45,10 +52,25 @@ class DivergenceCorpus:
         failure_key: str,
         summary: Optional[Dict] = None,
     ) -> Tuple[str, bool]:
-        """Record a minimal repro; returns (key, was_new)."""
+        """Record a minimal repro; returns (key, was_new).
+
+        One entry per failure signature: when ``failure_key`` is already
+        represented, the incoming case only displaces the stored one if
+        it is strictly smaller (by :func:`case_size`); otherwise the
+        existing entry's key is returned with ``was_new=False``.
+        """
         key = case_key(case)
         if key in self.store:
             return key, False
+        matching = self._entries_for(failure_key)
+        if matching:
+            smallest_key, smallest_case = min(
+                matching, key=lambda kv: (case_size(kv[1]), kv[0])
+            )
+            if case_size(case) >= case_size(smallest_case):
+                return smallest_key, False
+            for old_key, _ in matching:
+                self.store.discard(old_key)
         self.store.put(
             key,
             {"corpus_version": CORPUS_VERSION, "case": case.to_dict()},
@@ -59,6 +81,33 @@ class DivergenceCorpus:
             },
         )
         return key, True
+
+    def migrate(self) -> int:
+        """Collapse a pre-dedup corpus to one minimal repro per failure
+        key; returns how many redundant entries were dropped."""
+        best: Dict[str, Tuple[str, FuzzCase]] = {}
+        for key, case, meta in self.entries():
+            failure_key = meta.get("failure_key") or "?"
+            incumbent = best.get(failure_key)
+            if incumbent is None or (case_size(case), key) < (
+                case_size(incumbent[1]),
+                incumbent[0],
+            ):
+                best[failure_key] = (key, case)
+        keep = {key for key, _ in best.values()}
+        dropped = 0
+        for key, _, _ in list(self.entries()):
+            if key not in keep:
+                self.store.discard(key)
+                dropped += 1
+        return dropped
+
+    def _entries_for(self, failure_key: str) -> List[Tuple[str, FuzzCase]]:
+        return [
+            (key, case)
+            for key, case, meta in self.entries()
+            if meta.get("failure_key") == failure_key
+        ]
 
     def __len__(self) -> int:
         return sum(1 for _ in self.store.keys())

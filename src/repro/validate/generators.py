@@ -276,6 +276,25 @@ class FuzzCase:
         )
 
 
+def case_size(case: FuzzCase) -> int:
+    """Rough complexity measure of a case.
+
+    The shrinker only accepts reductions that lower it, and the corpus /
+    soak merge use it to pick the most minimal repro among several that
+    hit the same failure key — so "smaller" means the same thing
+    everywhere a repro competes with another.
+    """
+    program = case.program
+    return (
+        len(program.loops) * 64
+        + sum(t for _, t in program.loops)
+        + len(program.statement.terms) * 16
+        + (16 if program.statement.reduction else 0)
+        + len(case.adg_doc.get("nodes", ())) * 4
+        + (8 if case.params else 0)
+    )
+
+
 # ----------------------------------------------------------------------
 # Random draws
 # ----------------------------------------------------------------------

@@ -16,11 +16,16 @@ generate-limited ("aux") mappings sit in between.
 
 Outcomes are structural, never exceptions: unschedulable cases and
 simulator rejections are legitimate results the fuzz statistics count
-separately from genuine divergence.
+separately from genuine divergence.  A non-finite cycle estimate on
+either side (the model legitimately returns ``float("inf")`` when its
+projected IPC collapses to zero) is its own ``nonfinite`` outcome: the
+relative error of an infinite gap is meaningless, and letting it flow
+into the accuracy aggregates would poison every max/mean downstream.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field, replace
 from typing import Any, Dict, Optional
 
@@ -37,9 +42,16 @@ OUTCOMES = (
     "lower_error",       # compiler produced no variant
     "unschedulable",     # no variant maps onto the mutated ADG
     "sim_error",         # simulator rejected the schedule (deadlock/stall)
+    "nonfinite",         # a cycle estimate was inf/nan (no usable rel error)
     "ok",                # model and simulator agree within tolerance
     "divergence",        # disagreement outside the tolerance band
 )
+
+
+def _strict_round(value: float, digits: int) -> Optional[float]:
+    """Round for a strict-JSON document: non-finite values become None
+    (``json.dumps`` would otherwise emit non-standard ``Infinity``)."""
+    return round(value, digits) if math.isfinite(value) else None
 
 #: Coarse bottleneck classes keyed off PerfEstimate.bottleneck names.
 _MEMORY_BOTTLENECKS = ("dram", "l2", "dma", "noc")
@@ -114,14 +126,15 @@ class OracleResult:
         return self.outcome in ("ok", "divergence")
 
     def stats_doc(self) -> Dict[str, Any]:
-        """JSON-able summary (no object references, no timestamps)."""
+        """Strict-JSON summary (no object references, no timestamps, no
+        ``Infinity``/``NaN`` literals — non-finite numbers become null)."""
         return {
             "outcome": self.outcome,
             "bottleneck": self.bottleneck,
             "class": self.bottleneck_class,
-            "model_cycles": round(self.model_cycles, 3),
-            "sim_cycles": round(self.sim_cycles, 3),
-            "rel_error": round(self.rel_error, 6),
+            "model_cycles": _strict_round(self.model_cycles, 3),
+            "sim_cycles": _strict_round(self.sim_cycles, 3),
+            "rel_error": _strict_round(self.rel_error, 6),
             "variant": self.variant,
             "detail": self.detail,
         }
@@ -171,6 +184,26 @@ def run_oracle(
             bottleneck_class=klass,
             model_cycles=model_cycles,
             detail=str(exc),
+            variant=variant,
+            schedule=schedule,
+            adg=adg,
+        )
+
+    if not (math.isfinite(model_cycles) and math.isfinite(float(sim.cycles))):
+        # An infinite gap has no meaningful relative error; surface it as
+        # its own outcome so the accuracy aggregates stay finite and the
+        # failure still shrinks/records like any other model bug.
+        return OracleResult(
+            outcome="nonfinite",
+            bottleneck=bottleneck,
+            bottleneck_class=klass,
+            model_cycles=model_cycles,
+            sim_cycles=float(sim.cycles),
+            rel_error=float("inf"),
+            detail=(
+                f"non-finite cycle estimate (model={model_cycles!r}, "
+                f"sim={float(sim.cycles)!r})"
+            ),
             variant=variant,
             schedule=schedule,
             adg=adg,

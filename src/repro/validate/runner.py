@@ -15,33 +15,47 @@ of every corpus entry (reporting which minimal repros still reproduce).
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from ..engine.metrics import MetricsLogger
+from ..profile.tracer import span
 from .corpus import DivergenceCorpus
 from .generators import FuzzCase, GeneratorError, random_case
 from .invariants import Violation, check_case
 from .oracle import OracleResult, ToleranceBands, run_oracle
 from .shrinker import shrink
 
+#: Outcomes that contribute a row to the per-class accuracy table.
+_CLASSED_OUTCOMES = ("ok", "divergence", "nonfinite")
+
+
 #: Aggregated per-bottleneck-class accuracy.
 @dataclass
 class ClassStats:
     cases: int = 0
     passed: int = 0
+    nonfinite: int = 0
     max_rel_error: float = 0.0
     _rel_error_sum: float = 0.0
 
     def record(self, rel_error: float, passed: bool) -> None:
         self.cases += 1
+        if not math.isfinite(rel_error):
+            # An infinite/NaN relative error carries no accuracy signal;
+            # folding it into the sum/max would poison the aggregates
+            # (and round(inf) later emits non-strict JSON).
+            self.nonfinite += 1
+            return
         self.passed += int(passed)
         self.max_rel_error = max(self.max_rel_error, rel_error)
         self._rel_error_sum += rel_error
 
     @property
     def mean_rel_error(self) -> float:
-        return self._rel_error_sum / self.cases if self.cases else 0.0
+        finite = self.cases - self.nonfinite
+        return self._rel_error_sum / finite if finite else 0.0
 
     @property
     def pass_rate(self) -> float:
@@ -61,19 +75,66 @@ class Failure:
     summary: Dict = field(default_factory=dict)
 
 
+@dataclass(frozen=True)
+class CaseRecord:
+    """One case's verdict, keyed by its global case index.
+
+    A sharded campaign replays these records in index order to rebuild
+    the exact aggregate a serial run would have produced — including the
+    float accumulation order, so merged reports are byte-identical
+    regardless of how the seed range was split.
+    """
+
+    index: int
+    outcome: str
+    klass: str
+    rel_error: float
+    violations: int
+
+
 @dataclass
 class FuzzStats:
     """Everything one fuzz run learned."""
 
     budget: int
     seed: int
+    start: int = 0
     outcomes: Dict[str, int] = field(default_factory=dict)
     by_class: Dict[str, ClassStats] = field(default_factory=dict)
     invariant_violations: int = 0
     failures: List[Failure] = field(default_factory=list)
+    keep_records: bool = False
+    records: List[CaseRecord] = field(default_factory=list)
 
     def count(self, outcome: str) -> None:
         self.outcomes[outcome] = self.outcomes.get(outcome, 0) + 1
+
+    def observe(
+        self,
+        index: int,
+        outcome: str,
+        klass: str,
+        rel_error: float,
+        violations: int,
+    ) -> None:
+        """Fold one case verdict into the aggregates (the single code
+        path shared by the live fuzz loop and the soak shard merge)."""
+        self.count(outcome)
+        self.invariant_violations += violations
+        if outcome in _CLASSED_OUTCOMES:
+            self.by_class.setdefault(klass, ClassStats()).record(
+                rel_error, outcome == "ok"
+            )
+        if self.keep_records:
+            self.records.append(
+                CaseRecord(
+                    index=index,
+                    outcome=outcome,
+                    klass=klass,
+                    rel_error=rel_error,
+                    violations=violations,
+                )
+            )
 
     @property
     def compared(self) -> int:
@@ -83,6 +144,7 @@ class FuzzStats:
         return {
             "budget": self.budget,
             "seed": self.seed,
+            "start": self.start,
             "outcomes": dict(sorted(self.outcomes.items())),
             "invariant_violations": self.invariant_violations,
             "divergences": len(
@@ -92,6 +154,7 @@ class FuzzStats:
                 name: {
                     "cases": s.cases,
                     "pass_rate": round(s.pass_rate, 4),
+                    "nonfinite": s.nonfinite,
                     "max_rel_error": round(s.max_rel_error, 4),
                     "mean_rel_error": round(s.mean_rel_error, 4),
                 }
@@ -149,6 +212,8 @@ def failure_key_of(
         return f"invariant:{violations[0].invariant}"
     if result.outcome == "divergence":
         return f"divergence:{result.bottleneck_class}"
+    if result.outcome == "nonfinite":
+        return f"nonfinite:{result.bottleneck_class}"
     if result.outcome == "sim_error":
         return "sim_error"
     return None
@@ -178,37 +243,54 @@ def fuzz_run(
     metrics: Optional[MetricsLogger] = None,
     max_mutations: int = 6,
     shrink_budget: int = 120,
+    start: int = 0,
+    keep_records: bool = False,
 ) -> FuzzStats:
-    """Generate/check/shrink/record ``budget`` cases from ``seed``."""
+    """Generate/check/shrink/record ``budget`` cases from ``seed``.
+
+    ``start`` offsets the global case index: case ``i`` always derives
+    from the seed string ``"{seed}:{i}"``, so a sharded campaign running
+    ``(start=0, budget=5)`` and ``(start=5, budget=5)`` draws exactly the
+    cases a serial ``(start=0, budget=10)`` run would.  ``keep_records``
+    additionally retains one :class:`CaseRecord` per case for the soak
+    merge.
+    """
     bands = bands or ToleranceBands()
     metrics = metrics or MetricsLogger()
     corpus = DivergenceCorpus(corpus_dir) if corpus_dir else None
-    stats = FuzzStats(budget=budget, seed=seed)
+    if corpus is not None:
+        migrated = corpus.migrate()
+        if migrated:
+            metrics.emit("corpus_migrated", dropped=migrated)
+    stats = FuzzStats(
+        budget=budget, seed=seed, start=start, keep_records=keep_records
+    )
     metrics.emit(
-        "fuzz_start", budget=budget, seed=seed, bands=bands.to_dict()
+        "fuzz_start", budget=budget, seed=seed, start=start,
+        bands=bands.to_dict(),
     )
     predicate = make_failure_key(bands)
 
-    for i in range(budget):
+    for i in range(start, start + budget):
         try:
             case = random_case(f"{seed}:{i}", max_mutations=max_mutations)
         except GeneratorError:
-            stats.count("generator_exhausted")
+            stats.observe(i, "generator_exhausted", "", 0.0, 0)
             continue
         result, violations = _evaluate(case, bands)
-        stats.count(result.outcome)
-        if violations:
-            stats.invariant_violations += len(violations)
-        if result.compared:
-            klass = stats.by_class.setdefault(
-                result.bottleneck_class, ClassStats()
-            )
-            klass.record(result.rel_error, result.outcome == "ok")
+        stats.observe(
+            i,
+            result.outcome,
+            result.bottleneck_class,
+            result.rel_error,
+            len(violations),
+        )
 
         key = failure_key_of(result, violations)
         if key is None:
             continue
-        shrunk = shrink(case, predicate, max_evaluations=shrink_budget)
+        with span("fuzz.shrink", failure_key=key):
+            shrunk = shrink(case, predicate, max_evaluations=shrink_budget)
         failure = Failure(
             failure_key=key,
             case=shrunk.case,

@@ -23,7 +23,7 @@ from dataclasses import dataclass
 from typing import Callable, Iterator, List, Optional
 
 from ..adg import adg_to_dict
-from .generators import FuzzCase, ProgramSpec, StatementSpec
+from .generators import FuzzCase, ProgramSpec, StatementSpec, case_size
 
 #: Returns a stable failure identifier, or None when the case passes.
 FailureKey = Callable[[FuzzCase], Optional[str]]
@@ -190,19 +190,6 @@ def _candidates(case: FuzzCase) -> Iterator[FuzzCase]:
     yield from _adg_candidates(case)
 
 
-def _size(case: FuzzCase) -> int:
-    """Rough complexity measure; every accepted reduction must lower it."""
-    program = case.program
-    return (
-        len(program.loops) * 64
-        + sum(t for _, t in program.loops)
-        + len(program.statement.terms) * 16
-        + (16 if program.statement.reduction else 0)
-        + len(case.adg_doc.get("nodes", ())) * 4
-        + (8 if case.params else 0)
-    )
-
-
 # ----------------------------------------------------------------------
 # Driver
 # ----------------------------------------------------------------------
@@ -228,7 +215,7 @@ def shrink(
         for candidate in _candidates(current):
             if evaluations >= max_evaluations:
                 break
-            if _size(candidate) >= _size(current):
+            if case_size(candidate) >= case_size(current):
                 continue
             evaluations += 1
             if failure_key(candidate) == key:

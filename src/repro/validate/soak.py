@@ -1,0 +1,466 @@
+"""Sharded, resumable differential fuzz campaigns (``repro soak``).
+
+A *campaign* is one contract — "draw cases ``start..budget`` from this
+seed under these tolerance bands" — executed as ``shards`` independent
+slices of the global case-index range.  Each shard is a self-contained
+:func:`~repro.validate.runner.fuzz_run` that a worker process can
+execute in isolation; the campaign layer then:
+
+* runs shards across a ``ProcessPoolExecutor`` (serial fallback when
+  multiprocessing is unavailable, exactly like the DSE engine), with
+  per-shard fault isolation — a crashed shard is recorded and the
+  campaign degrades to the surviving shards' coverage;
+* checkpoints every finished shard's :class:`FuzzStats` into an
+  :class:`~repro.engine.store.ArtifactStore` keyed by the campaign
+  fingerprint + shard range, so ``--resume`` answers finished shards
+  from disk without recomputing them;
+* merges shard results deterministically: per-case records replay in
+  global index order (bit-identical float accumulation), and failures
+  dedupe across shards by ``failure_key`` keeping the smallest repro —
+  so ``--shards 4`` and ``--shards 1`` render byte-identical triage
+  reports for the same seed set;
+* records the deduped minimal repros in the divergence corpus and, with
+  ``--promote``, freezes each one as a committed regression case through
+  :mod:`repro.validate.promote`.
+
+The campaign fingerprint deliberately excludes the shard count and
+worker count: how the range was split is an execution detail, not part
+of what the campaign *means*.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..engine.hashing import fingerprint
+from ..engine.metrics import MetricsLogger
+from ..engine.store import ArtifactStore
+from ..profile.tracer import span
+from .corpus import DivergenceCorpus, case_key
+from .generators import case_size
+from .oracle import ToleranceBands
+from .promote import promote_failures
+from .runner import Failure, FuzzStats, fuzz_run
+
+#: Bump when the meaning of a stored shard result changes (FuzzStats
+#: layout, generator stream, oracle outcomes) so stale checkpoints miss.
+SOAK_SCHEMA_VERSION = 1
+
+
+class SoakError(RuntimeError):
+    """Every shard of a campaign failed; there is nothing to merge."""
+
+
+@dataclass(frozen=True)
+class CampaignConfig:
+    """What a campaign means — independent of how it is executed."""
+
+    budget: int = 100
+    seed: int = 0
+    shards: int = 1
+    max_mutations: int = 6
+    shrink_budget: int = 120
+    bands: ToleranceBands = field(default_factory=ToleranceBands)
+
+    def campaign_key(self) -> str:
+        """Content address of the campaign contract (shard/worker counts
+        excluded: they change execution, not meaning)."""
+        return fingerprint(
+            {
+                "schema": SOAK_SCHEMA_VERSION,
+                "budget": self.budget,
+                "seed": self.seed,
+                "max_mutations": self.max_mutations,
+                "shrink_budget": self.shrink_budget,
+                "bands": self.bands.to_dict(),
+            }
+        )
+
+    def shard_ranges(self) -> List[Tuple[int, int]]:
+        """Contiguous (start, count) slices covering ``0..budget``."""
+        shards = max(1, int(self.shards))
+        base, extra = divmod(self.budget, shards)
+        ranges: List[Tuple[int, int]] = []
+        start = 0
+        for i in range(shards):
+            count = base + (1 if i < extra else 0)
+            ranges.append((start, count))
+            start += count
+        return ranges
+
+
+@dataclass(frozen=True)
+class ShardJob:
+    """Self-contained unit of work shipped to a worker process."""
+
+    index: int
+    start: int
+    count: int
+    seed: int
+    max_mutations: int
+    shrink_budget: int
+    bands: ToleranceBands
+    inject_crash: bool = False   # fault-injection hook for tests
+
+
+@dataclass
+class ShardOutcome:
+    index: int
+    start: int
+    count: int
+    stats: Optional[FuzzStats]
+    error: Optional[str] = None
+    cached: bool = False
+
+
+def run_shard_job(job: ShardJob) -> FuzzStats:
+    """Execute one shard (module-level so it pickles to workers)."""
+    if job.inject_crash:
+        raise RuntimeError(f"injected crash (shard {job.index})")
+    return fuzz_run(
+        budget=job.count,
+        seed=job.seed,
+        bands=job.bands,
+        max_mutations=job.max_mutations,
+        shrink_budget=job.shrink_budget,
+        start=job.start,
+        keep_records=True,
+    )
+
+
+def _shard_store_key(campaign_key: str, start: int, count: int) -> str:
+    return fingerprint(
+        {
+            "schema": SOAK_SCHEMA_VERSION,
+            "campaign": campaign_key,
+            "start": start,
+            "count": count,
+        }
+    )
+
+
+@dataclass
+class SoakReport:
+    """Outcome of one campaign: merged stats + deduped failure triage."""
+
+    config: CampaignConfig
+    campaign_key: str
+    stats: FuzzStats                      # merged across surviving shards
+    failures: List[Failure]               # deduped, failure-key sorted
+    raw_failures: int                     # before cross-shard dedup
+    cases_run: int
+    crashed_shards: List[int] = field(default_factory=list)
+    cached_shards: List[int] = field(default_factory=list)
+    new_failures: int = 0
+    corpus_migrated: int = 0
+    promoted: List[str] = field(default_factory=list)
+    promote_dry_run: bool = False
+
+    @property
+    def complete(self) -> bool:
+        return not self.crashed_shards
+
+    @property
+    def ok(self) -> bool:
+        """Nothing new and nothing missing: safe to exit 0."""
+        return (
+            self.complete
+            and self.new_failures == 0
+            and self.stats.invariant_violations == 0
+        )
+
+    def stats_doc(self) -> Dict:
+        return {
+            "campaign": self.campaign_key,
+            "shards": self.config.shards,
+            "cases_run": self.cases_run,
+            "crashed_shards": list(self.crashed_shards),
+            "cached_shards": list(self.cached_shards),
+            "unique_failures": len(self.failures),
+            "raw_failures": self.raw_failures,
+            "new_failures": self.new_failures,
+            "corpus_migrated": self.corpus_migrated,
+            "promoted": list(self.promoted),
+            "promote_dry_run": self.promote_dry_run,
+            **self.stats.stats_doc(),
+        }
+
+    def render(self) -> str:
+        """The triage report: deterministic, timestamp-free, and
+        independent of the shard split — ``--shards 4`` and ``--shards
+        1`` over the same seeds produce these bytes identically.  (A
+        degraded campaign shows reduced coverage, nothing else.)"""
+        stats = self.stats
+        lines = [
+            f"soak: campaign {self.campaign_key[:16]}, seed "
+            f"{self.config.seed}, budget {self.config.budget}",
+            f"coverage: {self.cases_run}/{self.config.budget} cases"
+            + ("" if self.complete else " (degraded: shard failures)"),
+            "outcomes: "
+            + ", ".join(f"{k}={v}" for k, v in sorted(stats.outcomes.items())),
+            f"invariant violations: {stats.invariant_violations}",
+        ]
+        if stats.by_class:
+            lines.append(
+                f"{'class':10s} {'cases':>5s} {'pass':>6s} "
+                f"{'max err':>8s} {'mean err':>8s}"
+            )
+            for name, s in sorted(stats.by_class.items()):
+                lines.append(
+                    f"{name:10s} {s.cases:5d} {s.pass_rate:6.0%} "
+                    f"{s.max_rel_error:8.3f} {s.mean_rel_error:8.3f}"
+                )
+        lines.append(
+            f"unique failures: {len(self.failures)} "
+            f"({self.raw_failures} raw, "
+            f"{self.raw_failures - len(self.failures)} duplicates dropped)"
+        )
+        for fail in self.failures:
+            lines.append(
+                f"  {fail.failure_key}: case {case_key(fail.case)[:16]} "
+                f"(size {case_size(fail.case)}, origin "
+                f"{fail.case.origin!r}, {fail.shrink_steps} shrink steps)"
+            )
+        return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Campaign driver
+# ----------------------------------------------------------------------
+def _merge_outcomes(
+    config: CampaignConfig, survivors: Sequence[ShardOutcome]
+) -> Tuple[FuzzStats, List[Failure], int]:
+    """Rebuild the serial-run aggregate from shard records and dedupe
+    failures by signature (smallest repro wins, ties by case key)."""
+    merged = FuzzStats(budget=config.budget, seed=config.seed)
+    records = sorted(
+        (r for o in survivors for r in o.stats.records),
+        key=lambda r: r.index,
+    )
+    for record in records:
+        merged.observe(
+            record.index,
+            record.outcome,
+            record.klass,
+            record.rel_error,
+            record.violations,
+        )
+    raw = [f for o in survivors for f in o.stats.failures]
+    best: Dict[str, Failure] = {}
+    for failure in raw:
+        incumbent = best.get(failure.failure_key)
+        if incumbent is None or (
+            case_size(failure.case), case_key(failure.case)
+        ) < (case_size(incumbent.case), case_key(incumbent.case)):
+            best[failure.failure_key] = failure
+    deduped = [best[key] for key in sorted(best)]
+    merged.failures = deduped
+    return merged, deduped, len(raw)
+
+
+def soak_run(
+    config: CampaignConfig,
+    state_dir: Optional[str] = None,
+    corpus_dir: Optional[str] = None,
+    jobs: Optional[int] = None,
+    resume: bool = False,
+    metrics: Optional[MetricsLogger] = None,
+    promote_dir: Optional[str] = None,
+    promote_dry_run: bool = False,
+    inject_crash_shards: Sequence[int] = (),
+) -> SoakReport:
+    """Run one campaign: shard, execute, merge, record, promote."""
+    metrics = metrics or MetricsLogger()
+    campaign_key = config.campaign_key()
+    store = (
+        ArtifactStore(os.path.join(state_dir, "shards")) if state_dir else None
+    )
+    ranges = config.shard_ranges()
+    crash_shards = set(inject_crash_shards)
+    jobs_n = jobs if jobs is not None else min(len(ranges), os.cpu_count() or 1)
+    metrics.emit(
+        "soak_start",
+        campaign=campaign_key,
+        budget=config.budget,
+        seed=config.seed,
+        shards=len(ranges),
+        jobs=jobs_n,
+        resume=resume,
+        bands=config.bands.to_dict(),
+    )
+
+    outcomes: Dict[int, ShardOutcome] = {}
+    pending: List[ShardJob] = []
+    for i, (start, count) in enumerate(ranges):
+        if resume and store is not None:
+            cached = store.get(_shard_store_key(campaign_key, start, count))
+            if isinstance(cached, FuzzStats):
+                outcomes[i] = ShardOutcome(
+                    index=i, start=start, count=count, stats=cached,
+                    cached=True,
+                )
+                metrics.emit(
+                    "shard_cached", shard=i, start=start, count=count
+                )
+                continue
+        pending.append(
+            ShardJob(
+                index=i,
+                start=start,
+                count=count,
+                seed=config.seed,
+                max_mutations=config.max_mutations,
+                shrink_budget=config.shrink_budget,
+                bands=config.bands,
+                inject_crash=i in crash_shards,
+            )
+        )
+
+    for outcome in _run_shards(pending, jobs_n, metrics, campaign_key):
+        outcomes[outcome.index] = outcome
+        if outcome.stats is not None and store is not None:
+            store.put(
+                _shard_store_key(campaign_key, outcome.start, outcome.count),
+                outcome.stats,
+                meta={
+                    "kind": "soak-shard",
+                    "campaign": campaign_key,
+                    "shard": outcome.index,
+                    "start": outcome.start,
+                    "count": outcome.count,
+                    "failures": len(outcome.stats.failures),
+                },
+            )
+
+    ordered = [outcomes[i] for i in range(len(ranges))]
+    survivors = [o for o in ordered if o.stats is not None]
+    if not survivors:
+        errors = "; ".join(f"shard {o.index}: {o.error}" for o in ordered)
+        metrics.emit("soak_failed", campaign=campaign_key, errors=errors)
+        raise SoakError(f"all {len(ordered)} shards failed: {errors}")
+
+    with span("soak.merge", shards=len(survivors)):
+        merged, failures, raw_count = _merge_outcomes(config, survivors)
+    metrics.emit(
+        "soak_merged",
+        campaign=campaign_key,
+        unique_failures=len(failures),
+        raw_failures=raw_count,
+    )
+
+    corpus_migrated = 0
+    new_failures = 0
+    if corpus_dir:
+        corpus = DivergenceCorpus(corpus_dir)
+        corpus_migrated = corpus.migrate()
+        for failure in failures:
+            failure.corpus_key, failure.was_new = corpus.add(
+                failure.case, failure.failure_key, summary=failure.summary
+            )
+            new_failures += int(failure.was_new)
+    else:
+        new_failures = len(failures)
+
+    promoted: List[str] = []
+    if promote_dir is not None:
+        with span("soak.promote", failures=len(failures)):
+            promoted = promote_failures(
+                failures, promote_dir, config.bands, dry_run=promote_dry_run
+            )
+        metrics.emit(
+            "soak_promoted",
+            campaign=campaign_key,
+            cases=promoted,
+            dry_run=promote_dry_run,
+        )
+
+    report = SoakReport(
+        config=config,
+        campaign_key=campaign_key,
+        stats=merged,
+        failures=failures,
+        raw_failures=raw_count,
+        cases_run=sum(merged.outcomes.values()),
+        crashed_shards=[o.index for o in ordered if o.stats is None],
+        cached_shards=[o.index for o in ordered if o.cached],
+        new_failures=new_failures,
+        corpus_migrated=corpus_migrated,
+        promoted=promoted,
+        promote_dry_run=promote_dry_run,
+    )
+    metrics.emit("soak_done", **report.stats_doc())
+    return report
+
+
+def _run_shards(
+    jobs: List[ShardJob],
+    workers: int,
+    metrics: MetricsLogger,
+    campaign_key: str,
+) -> List[ShardOutcome]:
+    if workers > 1 and len(jobs) > 1:
+        try:
+            return _run_pool(jobs, workers, metrics)
+        except OSError:
+            # No usable multiprocessing primitives (restricted
+            # sandboxes) — degrade to the serial path.
+            metrics.emit("pool_unavailable", campaign=campaign_key)
+    return [_run_isolated(job, metrics) for job in jobs]
+
+
+def _outcome_of(job: ShardJob, stats: FuzzStats) -> ShardOutcome:
+    return ShardOutcome(
+        index=job.index, start=job.start, count=job.count, stats=stats
+    )
+
+
+def _run_pool(
+    jobs: List[ShardJob], workers: int, metrics: MetricsLogger
+) -> List[ShardOutcome]:
+    outcomes: List[ShardOutcome] = []
+    with ProcessPoolExecutor(max_workers=min(workers, len(jobs))) as pool:
+        futures = {pool.submit(run_shard_job, job): job for job in jobs}
+        for future, job in futures.items():
+            try:
+                stats = future.result()
+            except Exception as exc:
+                outcomes.append(
+                    ShardOutcome(
+                        index=job.index, start=job.start, count=job.count,
+                        stats=None, error=str(exc),
+                    )
+                )
+                metrics.emit("shard_crashed", shard=job.index, error=str(exc))
+            else:
+                outcomes.append(_outcome_of(job, stats))
+                metrics.emit(
+                    "shard_done",
+                    shard=job.index,
+                    start=job.start,
+                    count=job.count,
+                    failures=len(stats.failures),
+                )
+    return outcomes
+
+
+def _run_isolated(job: ShardJob, metrics: MetricsLogger) -> ShardOutcome:
+    with span("soak.shard", shard=job.index, count=job.count):
+        try:
+            stats = run_shard_job(job)
+        except Exception as exc:
+            metrics.emit("shard_crashed", shard=job.index, error=str(exc))
+            return ShardOutcome(
+                index=job.index, start=job.start, count=job.count,
+                stats=None, error=str(exc),
+            )
+    metrics.emit(
+        "shard_done",
+        shard=job.index,
+        start=job.start,
+        count=job.count,
+        failures=len(stats.failures),
+    )
+    return _outcome_of(job, stats)

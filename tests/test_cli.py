@@ -285,3 +285,55 @@ class TestDseCommand:
         ]
         assert main(argv) == 0
         assert "cache disabled" in capsys.readouterr().out
+
+
+class TestExitCodes:
+    """The CLI exit-code contract: 0 ok, 1 domain failure, 2 user error.
+
+    Domain failures that matter for CI: fuzz/soak exit 1 exactly when
+    they record *new* failures (or invariant violations), so a smoke job
+    over a warm corpus stays green while a fresh regression trips it.
+    """
+
+    def test_user_error_is_2(self, capsys):
+        assert main(["map", "/no/such/design.json", "vecmax"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_fuzz_clean_default_bands_is_0(self, capsys):
+        assert main(["fuzz", "--budget", "5", "--seed", "0"]) == 0
+        capsys.readouterr()
+
+    def test_fuzz_new_failures_then_known_failures(self, tmp_path, capsys):
+        argv = [
+            "fuzz", "--budget", "4", "--seed", "0",
+            "--rel-tol", "0", "--abs-floor", "0",
+            "--corpus", str(tmp_path / "corpus"),
+        ]
+        assert main(argv) == 1              # first sight: new failures
+        capsys.readouterr()
+        assert main(argv) == 0              # already in the corpus
+        capsys.readouterr()
+
+    def test_fuzz_without_corpus_cannot_know_failures(self, capsys):
+        argv = [
+            "fuzz", "--budget", "4", "--seed", "0",
+            "--rel-tol", "0", "--abs-floor", "0",
+        ]
+        assert main(argv) == 1
+        assert main(argv) == 1              # no memory: still "new"
+        capsys.readouterr()
+
+    def test_soak_follows_same_contract(self, tmp_path, capsys):
+        argv = [
+            "soak", "--budget", "8", "--seed", "3", "--shards", "2",
+            "--jobs", "1", "--rel-tol", "0", "--abs-floor", "0",
+            "--shrink-budget", "20", "--corpus", str(tmp_path / "corpus"),
+        ]
+        assert main(argv) == 1
+        capsys.readouterr()
+        assert main(argv) == 0
+        capsys.readouterr()
+
+    def test_validate_clean_is_0(self, capsys):
+        assert main(["validate"]) == 0
+        capsys.readouterr()

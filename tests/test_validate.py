@@ -12,6 +12,7 @@ from repro.validate import (
     ProgramSpec,
     ToleranceBands,
     case_key,
+    case_size,
     check_case,
     check_schedule,
     classify_bottleneck,
@@ -131,6 +132,27 @@ class TestOracle:
                 assert result.rel_error > 0
         assert diverged > 0
 
+    def test_infinite_model_cycles_classified_nonfinite(self, monkeypatch):
+        # Regression: an inf estimate used to flow into rel_error, where
+        # it poisoned max/mean aggregates and round(inf) produced
+        # non-strict JSON.  It must surface as its own outcome instead.
+        import repro.validate.oracle as oracle_mod
+
+        monkeypatch.setattr(
+            oracle_mod, "estimate_cycles",
+            lambda *a, **k: float("inf"),
+        )
+        result = run_oracle(random_case("0:0"))
+        assert result.outcome == "nonfinite"
+        assert result.rel_error == float("inf")
+        # stats_doc stays strict JSON: non-finite floats become None.
+        import json
+
+        doc = result.stats_doc()
+        json.dumps(doc, allow_nan=False)
+        assert doc["rel_error"] is None
+        assert doc["model_cycles"] is None
+
     def test_oracle_never_raises_on_corrupt_case(self):
         case = random_case("2:0")
         broken = FuzzCase(
@@ -200,6 +222,54 @@ class TestCorpus:
         )
         assert case_key(case) == case_key(relabeled)
 
+    def _two_cases_sized(self):
+        """Two distinct cases, returned (smaller, larger) by case_size."""
+        a, b = random_case("5:1"), random_case("5:2")
+        assert case_size(a) != case_size(b), "pick different seeds"
+        return (a, b) if case_size(a) < case_size(b) else (b, a)
+
+    def test_add_dedups_by_failure_key_keeping_smallest(self, tmp_path):
+        # Regression: the corpus used to dedupe only by raw case key, so
+        # one model bug hit by many generated cases piled up one entry
+        # per case.  One failure signature must keep one minimal repro.
+        small, large = self._two_cases_sized()
+        corpus = DivergenceCorpus(tmp_path / "corpus")
+        key_l, new_l = corpus.add(large, "divergence:memory")
+        assert new_l
+        # A bigger witness of a known signature is not stored.
+        key_s, new_s = corpus.add(small, "divergence:memory")
+        assert new_s and key_s != key_l
+        assert len(corpus) == 1
+        assert corpus.failure_keys() == ["divergence:memory"]
+        # Re-adding the displaced larger case now points at the smaller.
+        key_again, new_again = corpus.add(large, "divergence:memory")
+        assert key_again == key_s and not new_again
+        assert len(corpus) == 1
+        # A different signature coexists.
+        _, new_other = corpus.add(large, "divergence:compute")
+        assert new_other
+        assert len(corpus) == 2
+
+    def test_migrate_collapses_predeup_corpus(self, tmp_path):
+        from repro.validate.corpus import CORPUS_VERSION
+
+        small, large = self._two_cases_sized()
+        corpus = DivergenceCorpus(tmp_path / "corpus")
+        # Simulate a pre-dedup corpus: two entries, same failure key.
+        for case in (small, large):
+            corpus.store.put(
+                case_key(case),
+                {"corpus_version": CORPUS_VERSION, "case": case.to_dict()},
+                meta={"kind": "divergence-case",
+                      "failure_key": "divergence:memory", "summary": {}},
+            )
+        assert len(corpus) == 2
+        assert corpus.migrate() == 1
+        entries = list(corpus.entries())
+        assert len(entries) == 1
+        assert entries[0][1] == small          # smallest witness survives
+        assert corpus.migrate() == 0           # idempotent
+
 
 class TestFuzzRun:
     def test_clean_run_has_no_violations(self):
@@ -239,6 +309,47 @@ class TestFuzzRun:
         assert report.ok
         assert report.workloads_checked == 19
 
+    def test_class_stats_quarantine_nonfinite_errors(self):
+        from repro.validate.runner import ClassStats
+
+        stats = ClassStats()
+        stats.record(0.25, passed=True)
+        stats.record(float("inf"), passed=False)
+        stats.record(float("nan"), passed=False)
+        assert stats.cases == 3
+        assert stats.nonfinite == 2
+        assert stats.max_rel_error == 0.25     # inf did not poison max
+        assert stats.mean_rel_error == 0.25    # ...or the mean
+        # nonfinite cases never count as passed
+        assert stats.passed == 1
+
+    def test_fuzz_run_records_nonfinite_failures(self, tmp_path, monkeypatch):
+        import json
+
+        import repro.validate.oracle as oracle_mod
+
+        monkeypatch.setattr(
+            oracle_mod, "estimate_cycles", lambda *a, **k: float("inf")
+        )
+        corpus_dir = str(tmp_path / "c")
+        stats = fuzz_run(budget=4, seed=0, corpus_dir=corpus_dir)
+        assert stats.outcomes.get("nonfinite", 0) > 0
+        keys = {f.failure_key for f in stats.failures}
+        assert any(k.startswith("nonfinite:") for k in keys)
+        # The whole stats document stays strict JSON.
+        json.dumps(stats.stats_doc(), allow_nan=False)
+        for klass_doc in stats.stats_doc()["by_class"].values():
+            assert klass_doc["nonfinite"] >= 0
+
+    def test_fuzz_run_start_offset_matches_serial_draw(self):
+        serial = fuzz_run(budget=6, seed=7, keep_records=True)
+        lo = fuzz_run(budget=3, seed=7, start=0, keep_records=True)
+        hi = fuzz_run(budget=3, seed=7, start=3, keep_records=True)
+        assert [r.index for r in lo.records + hi.records] == [
+            r.index for r in serial.records
+        ]
+        assert lo.records + hi.records == serial.records
+
 
 class TestCliIntegration:
     def test_fuzz_cli_reruns_byte_identically(self, tmp_path, capsys):
@@ -256,13 +367,20 @@ class TestCliIntegration:
 
     def test_fuzz_then_validate_replays_minimal_repro(self, tmp_path, capsys):
         corpus = str(tmp_path / "corpus")
-        rc = main(
-            ["fuzz", "--budget", "4", "--seed", "0", "--corpus", corpus,
-             "--rel-tol", "0", "--abs-floor", "0"]
-        )
+        argv = [
+            "fuzz", "--budget", "4", "--seed", "0", "--corpus", corpus,
+            "--rel-tol", "0", "--abs-floor", "0",
+        ]
+        rc = main(argv)
         out = capsys.readouterr().out
-        assert rc == 0                      # divergences are data, not failures
+        assert rc == 1                      # new failures recorded
         assert "divergence" in out
+        assert "new failures:" in out
+        # Re-running finds only known failures: exit 0.
+        rc = main(argv)
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "new failures:" not in out
         rc = main(
             ["validate", "--corpus", corpus, "--rel-tol", "0",
              "--abs-floor", "0"]
