@@ -5,7 +5,7 @@ Commands mirror the library's main flows:
 * ``workloads``            — list the Table-II workloads
 * ``generate``             — run the DSE for a suite/workload set, save the design
 * ``dse``                  — like ``generate`` but through the parallel engine:
-  multi-seed worker pool (``--jobs``), persistent artifact cache
+  multi-seed worker pool (``--workers``), persistent artifact cache
   (``--cache-dir``), checkpoint/resume (``--resume``), JSONL metrics
 * ``inspect <design>``     — render a saved design (ASCII + resources)
 * ``map <design> <name>``  — compile+schedule a workload onto a saved design
@@ -35,6 +35,12 @@ Commands mirror the library's main flows:
 * ``submit``               — client for ``serve``: one-shot requests
   (map/estimate/simulate/ping/stats/shutdown) or a concurrent load run
 
+Parallelism flag convention (backed by :mod:`repro.jobs`): every command
+spells the worker-process count ``-w/--workers`` — an execution detail
+that never changes results — and work *splitting* ``--shards`` (also
+result-invariant: any shard count merges to identical output).  The old
+``-j/--jobs`` spelling survives as a deprecated alias for ``--workers``.
+
 Expected user errors (unknown workload names, missing files) exit with a
 clean one-line message and status 2; programming errors still traceback.
 """
@@ -58,6 +64,25 @@ from .workloads import SUITE_NAMES, all_workloads, get_suite, get_workload
 
 class CliError(Exception):
     """A user-facing error: printed cleanly, exit status 2."""
+
+
+class _DeprecatedAlias(argparse.Action):
+    """Accept an old flag spelling, warn on stderr, store to ``dest``.
+
+    Declare the canonical flag *first* (its default wins; argparse only
+    seeds a default for a dest the namespace doesn't already have).
+    """
+
+    def __init__(self, *args, canonical: str = "", **kwargs):
+        self.canonical = canonical
+        super().__init__(*args, **kwargs)
+
+    def __call__(self, parser, namespace, values, option_string=None):
+        print(
+            f"warning: {option_string} is deprecated; use {self.canonical}",
+            file=sys.stderr,
+        )
+        setattr(namespace, self.dest, values)
 
 
 def _get_workload(name: str):
@@ -134,14 +159,14 @@ def _cmd_dse(args: argparse.Namespace) -> int:
         )
     engine = DseEngine(
         cache_dir=cache_dir or None,
-        jobs=args.jobs,
+        workers=args.workers,
         metrics=MetricsLogger(args.metrics),
         checkpoint_every=args.checkpoint_every,
         seed_timeout=args.seed_timeout,
     )
     print(
         f"engine DSE for {len(workloads)} workload(s), seeds "
-        f"{seeds}, {args.jobs} job(s), cache "
+        f"{seeds}, {args.workers} worker(s), cache "
         f"{cache_dir or 'disabled'}"
     )
     res = engine.explore(
@@ -431,7 +456,7 @@ def _cmd_soak(args: argparse.Namespace) -> int:
             config,
             state_dir=args.state,
             corpus_dir=args.corpus,
-            jobs=args.jobs,
+            workers=args.workers,
             resume=args.resume,
             metrics=MetricsLogger(args.metrics),
             promote_dir=args.promote,
@@ -687,8 +712,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="comma-separated annealing seeds (best-of-N); default: --seed",
     )
     dse.add_argument(
-        "-j", "--jobs", type=int, default=1,
+        "-w", "--workers", type=int, default=1, dest="workers",
         help="worker processes for multi-seed runs",
+    )
+    dse.add_argument(
+        "-j", "--jobs", type=int, dest="workers", action=_DeprecatedAlias,
+        canonical="-w/--workers",
+        help="deprecated alias for -w/--workers",
     )
     dse.add_argument(
         "--cache-dir", default=None,
@@ -847,8 +877,13 @@ def build_parser() -> argparse.ArgumentParser:
              "report is identical for any shard count",
     )
     soak.add_argument(
-        "-j", "--jobs", type=int, default=None,
+        "-w", "--workers", type=int, default=None, dest="workers",
         help="worker processes (default: min(shards, cpu count))",
+    )
+    soak.add_argument(
+        "-j", "--jobs", type=int, dest="workers", action=_DeprecatedAlias,
+        canonical="-w/--workers",
+        help="deprecated alias for -w/--workers",
     )
     soak.add_argument(
         "--state", default=None,

@@ -5,13 +5,16 @@ config, annealed from each of these seeds".  The engine:
 
 * answers from its in-memory cache, then the persistent artifact store
   (key = content hash of workloads + config + seeds + schema version);
-* on a miss, runs one annealer per seed — across a
-  ``ProcessPoolExecutor`` when ``jobs > 1``, serially otherwise — and
-  keeps the best objective (ties broken toward the lowest seed, so the
-  winner is independent of completion order);
-* isolates faults per seed: a crashed worker is recorded and the job
-  degrades to the best of the survivors (it only fails when *every* seed
-  fails);
+* on a miss, runs one annealer per seed through the shared
+  :mod:`repro.jobs` runtime — a worker-process pool when ``workers > 1``
+  (the :class:`~repro.jobs.ProcessPoolJobExecutor` serial-fallback rule
+  applies), serially otherwise — and keeps the best objective (ties
+  broken toward the lowest seed, so the winner is independent of
+  completion order);
+* isolates faults per seed via the runtime's
+  :class:`~repro.jobs.FaultPolicy`: a crashed worker is recorded and
+  the job degrades to the best of the survivors (it only fails when
+  *every* seed fails);
 * checkpoints each seed's annealer every ``checkpoint_every`` iterations
   and, with ``resume=True``, restarts interrupted seeds from their last
   snapshot — bit-identical to a run that never stopped;
@@ -22,13 +25,12 @@ config, annealed from each of these seeds".  The engine:
 from __future__ import annotations
 
 import os
-from concurrent.futures import ProcessPoolExecutor
-from concurrent.futures import TimeoutError as FutureTimeoutError
 from dataclasses import dataclass, field, replace
 from time import perf_counter, sleep
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..dse import DseConfig, DseResult, Explorer
+from ..jobs import FaultPolicy, JobOutcome, JobRunner, ProcessPoolJobExecutor
 from ..harness.cache import MemoryCache
 from ..ir import Workload
 from .checkpoint import CheckpointManager, load_checkpoint, save_checkpoint
@@ -125,9 +127,12 @@ class DseEngine:
         metrics: Optional[MetricsLogger] = None,
         checkpoint_every: int = DEFAULT_CHECKPOINT_EVERY,
         seed_timeout: Optional[float] = None,
+        workers: Optional[int] = None,
     ) -> None:
         self.cache_dir = cache_dir
-        self.jobs = max(1, int(jobs))
+        # ``workers`` is the canonical name (CLI convention); ``jobs``
+        # survives as the legacy keyword.
+        self.jobs = max(1, int(workers if workers is not None else jobs))
         #: Per-seed wall-clock budget (seconds), enforced through future
         #: deadlines on the worker-pool path: a seed that exceeds it is
         #: recorded as a failure and the job degrades to the best of the
@@ -306,80 +311,58 @@ class DseEngine:
             workloads, config, name, seeds, key, resume, crash_seeds,
             hang_seeds,
         )
-        if self.jobs > 1 and len(jobs) > 1:
-            try:
-                return self._run_pool(jobs)
-            except OSError:
-                # No usable multiprocessing primitives (restricted
-                # sandboxes) — degrade to the serial path.
-                self.metrics.emit("pool_unavailable", key=key)
-        return [self._run_isolated(job) for job in jobs]
-
-    def _run_pool(self, jobs: List[SeedJob]) -> List[SeedOutcome]:
-        outcomes: Dict[int, SeedOutcome] = {}
-        pool = ProcessPoolExecutor(max_workers=min(self.jobs, len(jobs)))
-        timed_out = False
-        started = perf_counter()
-        try:
-            futures = {pool.submit(run_seed_job, job): job for job in jobs}
-            for future, job in futures.items():
-                remaining: Optional[float] = None
-                if self.seed_timeout is not None:
-                    # Every seed's clock starts at submission, so the
-                    # shared deadline is started + seed_timeout.
-                    remaining = max(
-                        0.0, started + self.seed_timeout - perf_counter()
-                    )
-                try:
-                    outcome = future.result(timeout=remaining)
-                except FutureTimeoutError:
-                    future.cancel()
-                    timed_out = True
-                    outcome = SeedOutcome(
-                        seed=job.seed,
-                        result=None,
-                        error=(
-                            f"timed out after {self.seed_timeout}s "
-                            "(seed_timeout)"
-                        ),
-                        timed_out=True,
-                    )
-                    self.metrics.emit(
-                        "seed_timeout",
-                        seed=job.seed,
-                        seed_timeout=self.seed_timeout,
-                    )
-                except Exception as exc:
-                    outcome = SeedOutcome(
-                        seed=job.seed, result=None, error=str(exc)
-                    )
-                    self.metrics.emit(
-                        "seed_crashed", seed=job.seed, error=str(exc)
-                    )
-                else:
-                    self.metrics.emit(
-                        "seed_done",
-                        seed=outcome.seed,
-                        objective=outcome.result.choice.objective,
-                        resumed=outcome.resumed,
-                    )
-                outcomes[job.seed] = outcome
-        finally:
-            # On a timeout, don't join hung workers — cancel whatever is
-            # still queued and let the orphaned process die on its own.
-            pool.shutdown(wait=not timed_out, cancel_futures=timed_out)
-        return [outcomes[job.seed] for job in jobs]
-
-    def _run_isolated(self, job: SeedJob) -> SeedOutcome:
-        try:
-            outcome = run_seed_job(job)
-        except Exception as exc:
-            self.metrics.emit("seed_crashed", seed=job.seed, error=str(exc))
-            return SeedOutcome(seed=job.seed, result=None, error=str(exc))
-        self.metrics.emit(
-            "seed_done",
-            seed=outcome.seed,
-            objective=outcome.result.choice.objective,
-            resumed=outcome.resumed,
+        executor = ProcessPoolJobExecutor(self.jobs)
+        runner = JobRunner(
+            executor=executor,
+            # all_failed_raises=False: explore() owns the all-failed
+            # EngineError so its message stays bit-identical.
+            policy=FaultPolicy(
+                timeout_s=self.seed_timeout, all_failed_raises=False
+            ),
+            metrics=self.metrics,
+            name="engine.seeds",
         )
-        return outcome
+        results = runner.run(
+            run_seed_job,
+            jobs,
+            label_fn=lambda job: job.seed,
+            on_outcome=self._emit_seed_event,
+        )
+        if executor.last_mode == "serial-fallback":
+            self.metrics.emit("pool_unavailable", key=key)
+        return [self._to_seed_outcome(out) for out in results]
+
+    def _emit_seed_event(self, out: JobOutcome) -> None:
+        """Legacy per-seed event stream, rebuilt from runtime outcomes."""
+        if out.timed_out:
+            self.metrics.emit(
+                "seed_timeout",
+                seed=out.payload.seed,
+                seed_timeout=self.seed_timeout,
+            )
+        elif out.error is not None:
+            self.metrics.emit(
+                "seed_crashed", seed=out.payload.seed, error=out.error
+            )
+        else:
+            outcome = out.result
+            self.metrics.emit(
+                "seed_done",
+                seed=outcome.seed,
+                objective=outcome.result.choice.objective,
+                resumed=outcome.resumed,
+            )
+
+    def _to_seed_outcome(self, out: JobOutcome) -> SeedOutcome:
+        if out.timed_out:
+            return SeedOutcome(
+                seed=out.payload.seed,
+                result=None,
+                error=f"timed out after {self.seed_timeout}s (seed_timeout)",
+                timed_out=True,
+            )
+        if out.error is not None:
+            return SeedOutcome(
+                seed=out.payload.seed, result=None, error=out.error
+            )
+        return out.result

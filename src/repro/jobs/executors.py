@@ -1,0 +1,324 @@
+"""Pluggable executors for the job runtime.
+
+All executors share one contract: ``execute(fn, pending, ...)`` yields a
+:class:`~repro.jobs.runner.JobOutcome` per ``(index, payload)`` pair, in
+submission order, isolating per-job faults (a crash becomes a recorded
+failure, never an exception out of the loop).  Yielding in submission
+order — not completion order — keeps every downstream event stream and
+merge deterministic regardless of worker scheduling.
+
+Three executors plus a pool factory:
+
+* :class:`InProcessExecutor` — serial, in the calling process.  No
+  pickling, no preemption: ``timeout_s`` cannot interrupt a running job
+  and is ignored (documented engine behaviour since PR 4).
+* :class:`ProcessPoolJobExecutor` — ``ProcessPoolExecutor``-backed with
+  per-job wall-clock deadlines.  Owns *the* serial-fallback rule
+  (``workers <= 1 or len(jobs) <= 1`` → run in-process) that the DSE
+  engine and soak previously each hand-rolled, and degrades to the
+  serial path when the sandbox offers no multiprocessing primitives
+  (``OSError``).
+* :class:`SocketJobExecutor` — dispatches each job as a request to a
+  remote ``repro serve`` worker over the JSON-lines protocol.  The stub
+  toward multi-node campaigns: compute ops (map/estimate/simulate) work
+  today; shipping arbitrary shard closures needs a serve-side job op
+  (ROADMAP item 3).
+
+:func:`make_worker_pool` is the same process-else-thread fallback for
+subsystems that need a long-lived ``concurrent.futures`` executor (the
+serve compute pool) rather than batch semantics.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from time import perf_counter
+from typing import Any, Callable, Iterator, List, Optional, Sequence, Tuple
+
+from ..profile.tracer import span
+from .runner import JobOutcome
+
+#: ``(index, payload)`` pairs as handed to an executor.
+PendingJobs = Sequence[Tuple[int, Any]]
+
+
+class InProcessExecutor:
+    """Run every job serially in the calling process.
+
+    The reference executor: no pickling (payloads that cannot cross a
+    process boundary still run), exceptions recorded per job, and — by
+    construction — identical results to any correct parallel executor.
+    """
+
+    kind = "in-process"
+    workers = 1
+
+    def __init__(self) -> None:
+        self.last_mode = "serial"
+
+    def execute(
+        self,
+        fn: Callable[[Any], Any],
+        pending: PendingJobs,
+        *,
+        timeout_s: Optional[float] = None,
+        fail_fast: bool = False,
+    ) -> Iterator[JobOutcome]:
+        # timeout_s is ignored: an in-process job cannot be preempted.
+        self.last_mode = "serial"
+        items = list(pending)
+        for pos, (index, payload) in enumerate(items):
+            t0 = perf_counter()
+            try:
+                with span("jobs.job", index=index):
+                    result = fn(payload)
+            except Exception as exc:
+                yield JobOutcome(
+                    index=index, payload=payload, result=None,
+                    error=str(exc), wall_s=perf_counter() - t0,
+                )
+                if fail_fast:
+                    for later_index, later_payload in items[pos + 1:]:
+                        yield JobOutcome(
+                            index=later_index, payload=later_payload,
+                            result=None, error="cancelled (fail policy)",
+                        )
+                    return
+                continue
+            yield JobOutcome(
+                index=index, payload=payload, result=result,
+                wall_s=perf_counter() - t0,
+            )
+
+
+class ProcessPoolJobExecutor:
+    """Worker-process pool with deadlines and the serial-fallback rule."""
+
+    kind = "process-pool"
+
+    def __init__(self, workers: int) -> None:
+        self.workers = max(0, int(workers))
+        self.last_mode = "serial"
+        self._serial = InProcessExecutor()
+
+    def execute(
+        self,
+        fn: Callable[[Any], Any],
+        pending: PendingJobs,
+        *,
+        timeout_s: Optional[float] = None,
+        fail_fast: bool = False,
+    ) -> Iterator[JobOutcome]:
+        items = list(pending)
+        # THE serial-fallback rule (owned here, nowhere else): a pool
+        # only pays when more than one worker can overlap more than one
+        # job.  Every consumer inherits exactly this threshold.
+        if self.workers <= 1 or len(items) <= 1:
+            self.last_mode = "serial"
+            yield from self._serial.execute(
+                fn, items, timeout_s=timeout_s, fail_fast=fail_fast
+            )
+            return
+        try:
+            pool = ProcessPoolExecutor(
+                max_workers=min(self.workers, len(items))
+            )
+            futures = [
+                (index, payload, pool.submit(fn, payload))
+                for index, payload in items
+            ]
+        except OSError:
+            # No usable multiprocessing primitives (restricted
+            # sandboxes) — degrade to the serial path.
+            self.last_mode = "serial-fallback"
+            yield from self._serial.execute(
+                fn, items, timeout_s=timeout_s, fail_fast=fail_fast
+            )
+            return
+        self.last_mode = "pool"
+        # Every job's clock starts at submission, so a shared deadline of
+        # started + timeout_s bounds each job's wall-clock individually.
+        started = perf_counter()
+        timed_out_any = False
+        cancel_rest = False
+        try:
+            for index, payload, future in futures:
+                if cancel_rest:
+                    future.cancel()
+                    try:
+                        value = future.result(timeout=0)
+                    except FutureTimeoutError:
+                        yield JobOutcome(
+                            index=index, payload=payload, result=None,
+                            error="cancelled (fail policy)",
+                        )
+                        continue
+                    except Exception as exc:
+                        yield JobOutcome(
+                            index=index, payload=payload, result=None,
+                            error=str(exc),
+                        )
+                        continue
+                    yield JobOutcome(
+                        index=index, payload=payload, result=value,
+                        wall_s=perf_counter() - started,
+                    )
+                    continue
+                remaining: Optional[float] = None
+                if timeout_s is not None:
+                    remaining = max(0.0, started + timeout_s - perf_counter())
+                try:
+                    value = future.result(timeout=remaining)
+                except FutureTimeoutError:
+                    future.cancel()
+                    timed_out_any = True
+                    outcome = JobOutcome(
+                        index=index, payload=payload, result=None,
+                        error=f"timed out after {timeout_s}s",
+                        timed_out=True,
+                    )
+                except Exception as exc:
+                    outcome = JobOutcome(
+                        index=index, payload=payload, result=None,
+                        error=str(exc),
+                    )
+                else:
+                    outcome = JobOutcome(
+                        index=index, payload=payload, result=value,
+                        wall_s=perf_counter() - started,
+                    )
+                yield outcome
+                if not outcome.ok and fail_fast:
+                    cancel_rest = True
+        finally:
+            # On a timeout, don't join hung workers — cancel whatever is
+            # still queued and let the orphaned process die on its own.
+            abandon = timed_out_any or cancel_rest
+            pool.shutdown(wait=not abandon, cancel_futures=abandon)
+
+
+class SocketJobExecutor:
+    """Dispatch jobs to a remote ``repro serve`` worker over its socket.
+
+    ``request_fn(payload)`` adapts one job to the keyword arguments of
+    :meth:`repro.serve.client.ServeClient.request` (``op``,
+    ``workload``, ``overlay``, ``timeout_s``).  All jobs are fired
+    concurrently (bounded by ``concurrency``) over one pipelined
+    connection; outcomes come back in submission order.  A structured
+    serve error (bad request, overloaded, deadline) is a recorded
+    per-job failure, never an exception — the same fault isolation the
+    local executors give.  Remote ``deadline`` errors map onto
+    ``timed_out`` so :class:`~repro.jobs.runner.FaultPolicy` treats
+    local and remote expiry identically.
+    """
+
+    kind = "socket"
+
+    def __init__(
+        self,
+        socket_path: Optional[str] = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        request_fn: Optional[Callable[[Any], dict]] = None,
+        concurrency: int = 8,
+    ) -> None:
+        self.socket_path = socket_path
+        self.host = host
+        self.port = port
+        self.request_fn = request_fn
+        self.concurrency = max(1, int(concurrency))
+        self.last_mode = "socket"
+
+    def execute(
+        self,
+        fn: Callable[[Any], Any],
+        pending: PendingJobs,
+        *,
+        timeout_s: Optional[float] = None,
+        fail_fast: bool = False,
+    ) -> Iterator[JobOutcome]:
+        # ``fn`` is ignored: the remote worker owns execution.  Jobs are
+        # all in flight before the first outcome is observed, so
+        # fail-fast cannot cancel siblings; the policy still raises.
+        import asyncio
+
+        if self.request_fn is None:
+            raise ValueError(
+                "SocketJobExecutor needs a request_fn mapping each job "
+                "to a serve request"
+            )
+        self.last_mode = "socket"
+        yield from asyncio.run(self._dispatch(list(pending), timeout_s))
+
+    async def _dispatch(
+        self, items: List[Tuple[int, Any]], timeout_s: Optional[float]
+    ) -> List[JobOutcome]:
+        import asyncio
+
+        from ..serve.client import ServeClient
+        from ..serve.errors import ServeError
+
+        limit = asyncio.Semaphore(self.concurrency)
+
+        async def one(client: ServeClient, index: int, payload: Any) -> JobOutcome:
+            kwargs = dict(self.request_fn(payload))
+            if timeout_s is not None:
+                kwargs.setdefault("timeout_s", timeout_s)
+            t0 = perf_counter()
+            async with limit:
+                try:
+                    result = await client.request(**kwargs)
+                except ServeError as exc:
+                    return JobOutcome(
+                        index=index, payload=payload, result=None,
+                        error=str(exc),
+                        timed_out=getattr(exc, "code", "") == "deadline",
+                        wall_s=perf_counter() - t0,
+                    )
+                except Exception as exc:
+                    return JobOutcome(
+                        index=index, payload=payload, result=None,
+                        error=str(exc), wall_s=perf_counter() - t0,
+                    )
+            return JobOutcome(
+                index=index, payload=payload, result=result,
+                wall_s=perf_counter() - t0,
+            )
+
+        async with ServeClient(
+            socket_path=self.socket_path, host=self.host, port=self.port
+        ) as client:
+            return list(
+                await asyncio.gather(
+                    *(one(client, index, payload) for index, payload in items)
+                )
+            )
+
+
+def make_worker_pool(
+    workers: int,
+    on_fallback: Optional[Callable[[int], None]] = None,
+    thread_name_prefix: str = "jobs-worker",
+) -> Tuple[Executor, str]:
+    """A long-lived ``concurrent.futures`` pool with the shared fallback.
+
+    Process pool when ``workers > 0`` and the sandbox allows
+    subprocesses; otherwise an in-process thread pool (``workers == 0``
+    explicitly requests threads — used by tests and async servers that
+    monkeypatch the worker entry point).  Returns ``(executor, kind)``
+    where kind is ``"process"`` or ``"thread"``.
+    """
+    if workers > 0:
+        try:
+            return ProcessPoolExecutor(max_workers=workers), "process"
+        except OSError:
+            if on_fallback is not None:
+                on_fallback(workers)
+    return (
+        ThreadPoolExecutor(
+            max_workers=max(1, workers or 1),
+            thread_name_prefix=thread_name_prefix,
+        ),
+        "thread",
+    )

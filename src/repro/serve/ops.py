@@ -3,7 +3,7 @@
 Each op is a pure function of ``(overlay design, workload)`` returning a
 plain-JSON *result document*.  The same functions back three callers:
 
-* the server's ``ProcessPoolExecutor`` workers (:func:`compute_op` is a
+* the server's worker-pool processes (:func:`compute_op` is a
   module-level function, so it pickles to worker processes);
 * the single-shot CLI path (``repro map/simulate --json``), which is the
   byte-identity reference the load tests compare against;

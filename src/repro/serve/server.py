@@ -16,9 +16,10 @@ localhost TCP.  The serving pipeline per compute request:
    :class:`~repro.serve.batcher.SingleFlight`.
 4. **Cache tiers** — in-process memory map, then the persistent
    :class:`~repro.engine.store.ArtifactStore` (shared with the DSE
-   engine, so results survive restarts), then a ``ProcessPoolExecutor``
-   worker running :func:`repro.serve.ops.compute_op` (thread-pool
-   fallback when the sandbox forbids subprocesses).
+   engine, so results survive restarts), then a worker-pool process
+   from :func:`repro.jobs.make_worker_pool` running
+   :func:`repro.serve.ops.compute_op` (thread-pool fallback when the
+   sandbox forbids subprocesses).
 5. **Deadline** — each waiter applies its own ``timeout_s`` via
    ``asyncio.wait_for(asyncio.shield(task))``; expiry answers a
    ``deadline`` error while the shared compute keeps running and lands
@@ -40,7 +41,7 @@ from __future__ import annotations
 
 import asyncio
 import os
-from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures import Executor
 from dataclasses import dataclass, field
 from time import perf_counter
 from typing import Any, Dict, List, Optional, Tuple
@@ -48,6 +49,7 @@ from typing import Any, Dict, List, Optional, Tuple
 from ..adg import SysADG, load_sysadg, sysadg_to_dict
 from ..engine.metrics import MetricsLogger
 from ..engine.store import ArtifactStore
+from ..jobs import make_worker_pool
 from ..profile import tracer
 from .batcher import AdmissionGate, LatencyReservoir, SingleFlight
 from .errors import (
@@ -214,19 +216,13 @@ class OverlayServer:
         )
 
     def _make_executor(self) -> None:
-        workers = self.config.workers
-        if workers > 0:
-            try:
-                self._executor = ProcessPoolExecutor(max_workers=workers)
-                self._executor_kind = "process"
-                return
-            except OSError:
-                self.metrics.emit("pool_unavailable", workers=workers)
-        self._executor = ThreadPoolExecutor(
-            max_workers=max(1, workers or 1),
+        self._executor, self._executor_kind = make_worker_pool(
+            self.config.workers,
+            on_fallback=lambda workers: self.metrics.emit(
+                "pool_unavailable", workers=workers
+            ),
             thread_name_prefix="serve-compute",
         )
-        self._executor_kind = "thread"
 
     async def wait_closed(self) -> None:
         """Resolve once a drain (shutdown op or :meth:`shutdown`) ends."""

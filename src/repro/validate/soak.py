@@ -6,14 +6,16 @@ slices of the global case-index range.  Each shard is a self-contained
 :func:`~repro.validate.runner.fuzz_run` that a worker process can
 execute in isolation; the campaign layer then:
 
-* runs shards across a ``ProcessPoolExecutor`` (serial fallback when
-  multiprocessing is unavailable, exactly like the DSE engine), with
-  per-shard fault isolation — a crashed shard is recorded and the
-  campaign degrades to the surviving shards' coverage;
+* runs shards through the shared :mod:`repro.jobs` runtime (worker
+  pool with the :class:`~repro.jobs.ProcessPoolJobExecutor`
+  serial-fallback rule, exactly like the DSE engine), with per-shard
+  fault isolation — a crashed shard is recorded and the campaign
+  degrades to the surviving shards' coverage;
 * checkpoints every finished shard's :class:`FuzzStats` into an
   :class:`~repro.engine.store.ArtifactStore` keyed by the campaign
-  fingerprint + shard range, so ``--resume`` answers finished shards
-  from disk without recomputing them;
+  fingerprint + shard range (via the runtime's
+  :class:`~repro.jobs.Checkpointing`), so ``--resume`` answers finished
+  shards from disk without recomputing them;
 * merges shard results deterministically: per-case records replay in
   global index order (bit-identical float accumulation), and failures
   dedupe across shards by ``failure_key`` keeping the smallest repro —
@@ -31,13 +33,20 @@ of what the campaign *means*.
 from __future__ import annotations
 
 import os
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..engine.hashing import fingerprint
 from ..engine.metrics import MetricsLogger
 from ..engine.store import ArtifactStore
+from ..jobs import (
+    Checkpointing,
+    FaultPolicy,
+    JobOutcome,
+    JobRunner,
+    ProcessPoolJobExecutor,
+    ShardPlan,
+)
 from ..profile.tracer import span
 from .corpus import DivergenceCorpus, case_key
 from .generators import case_size
@@ -80,16 +89,9 @@ class CampaignConfig:
         )
 
     def shard_ranges(self) -> List[Tuple[int, int]]:
-        """Contiguous (start, count) slices covering ``0..budget``."""
-        shards = max(1, int(self.shards))
-        base, extra = divmod(self.budget, shards)
-        ranges: List[Tuple[int, int]] = []
-        start = 0
-        for i in range(shards):
-            count = base + (1 if i < extra else 0)
-            ranges.append((start, count))
-            start += count
-        return ranges
+        """Contiguous (start, count) slices covering ``0..budget``
+        (delegates to the shared :class:`~repro.jobs.ShardPlan`)."""
+        return ShardPlan(total=self.budget, shards=self.shards).ranges()
 
 
 @dataclass(frozen=True)
@@ -271,8 +273,13 @@ def soak_run(
     promote_dir: Optional[str] = None,
     promote_dry_run: bool = False,
     inject_crash_shards: Sequence[int] = (),
+    workers: Optional[int] = None,
 ) -> SoakReport:
-    """Run one campaign: shard, execute, merge, record, promote."""
+    """Run one campaign: shard, execute, merge, record, promote.
+
+    ``workers`` is the canonical name for the worker-process count (CLI
+    convention); ``jobs`` survives as the legacy keyword.
+    """
     metrics = metrics or MetricsLogger()
     campaign_key = config.campaign_key()
     store = (
@@ -280,62 +287,105 @@ def soak_run(
     )
     ranges = config.shard_ranges()
     crash_shards = set(inject_crash_shards)
-    jobs_n = jobs if jobs is not None else min(len(ranges), os.cpu_count() or 1)
+    if workers is None:
+        workers = jobs
+    workers_n = (
+        workers if workers is not None
+        else min(len(ranges), os.cpu_count() or 1)
+    )
     metrics.emit(
         "soak_start",
         campaign=campaign_key,
         budget=config.budget,
         seed=config.seed,
         shards=len(ranges),
-        jobs=jobs_n,
+        jobs=workers_n,
         resume=resume,
         bands=config.bands.to_dict(),
     )
 
-    outcomes: Dict[int, ShardOutcome] = {}
-    pending: List[ShardJob] = []
-    for i, (start, count) in enumerate(ranges):
-        if resume and store is not None:
-            cached = store.get(_shard_store_key(campaign_key, start, count))
-            if isinstance(cached, FuzzStats):
-                outcomes[i] = ShardOutcome(
-                    index=i, start=start, count=count, stats=cached,
-                    cached=True,
-                )
-                metrics.emit(
-                    "shard_cached", shard=i, start=start, count=count
-                )
-                continue
-        pending.append(
-            ShardJob(
-                index=i,
-                start=start,
-                count=count,
-                seed=config.seed,
-                max_mutations=config.max_mutations,
-                shrink_budget=config.shrink_budget,
-                bands=config.bands,
-                inject_crash=i in crash_shards,
-            )
+    shard_jobs = [
+        ShardJob(
+            index=i,
+            start=start,
+            count=count,
+            seed=config.seed,
+            max_mutations=config.max_mutations,
+            shrink_budget=config.shrink_budget,
+            bands=config.bands,
+            inject_crash=i in crash_shards,
+        )
+        for i, (start, count) in enumerate(ranges)
+    ]
+
+    checkpoint = None
+    if store is not None:
+        checkpoint = Checkpointing(
+            store=store,
+            key_fn=lambda job: _shard_store_key(
+                campaign_key, job.start, job.count
+            ),
+            meta_fn=lambda job, stats: {
+                "kind": "soak-shard",
+                "campaign": campaign_key,
+                "shard": job.index,
+                "start": job.start,
+                "count": job.count,
+                "failures": len(stats.failures),
+            },
+            validate_fn=lambda cached: isinstance(cached, FuzzStats),
         )
 
-    for outcome in _run_shards(pending, jobs_n, metrics, campaign_key):
-        outcomes[outcome.index] = outcome
-        if outcome.stats is not None and store is not None:
-            store.put(
-                _shard_store_key(campaign_key, outcome.start, outcome.count),
-                outcome.stats,
-                meta={
-                    "kind": "soak-shard",
-                    "campaign": campaign_key,
-                    "shard": outcome.index,
-                    "start": outcome.start,
-                    "count": outcome.count,
-                    "failures": len(outcome.stats.failures),
-                },
+    def emit_shard_event(out: JobOutcome) -> None:
+        """Legacy per-shard event stream, rebuilt from runtime outcomes."""
+        job = out.payload
+        if out.cached:
+            metrics.emit(
+                "shard_cached", shard=job.index, start=job.start,
+                count=job.count,
             )
+        elif out.ok:
+            metrics.emit(
+                "shard_done",
+                shard=job.index,
+                start=job.start,
+                count=job.count,
+                failures=len(out.result.failures),
+            )
+        else:
+            metrics.emit("shard_crashed", shard=job.index, error=out.error)
 
-    ordered = [outcomes[i] for i in range(len(ranges))]
+    executor = ProcessPoolJobExecutor(workers_n)
+    runner = JobRunner(
+        executor=executor,
+        # all_failed_raises=False: the campaign owns the all-failed
+        # SoakError so its message stays bit-identical.
+        policy=FaultPolicy(all_failed_raises=False),
+        metrics=metrics,
+        name="soak.shards",
+    )
+    results = runner.run(
+        run_shard_job,
+        shard_jobs,
+        checkpoint=checkpoint,
+        resume=resume,
+        label_fn=lambda job: job.index,
+        on_outcome=emit_shard_event,
+    )
+    if executor.last_mode == "serial-fallback":
+        metrics.emit("pool_unavailable", campaign=campaign_key)
+
+    ordered = [
+        ShardOutcome(
+            index=o.payload.index,
+            start=o.payload.start,
+            count=o.payload.count,
+            stats=o.result if o.ok else None,
+            error=o.error,
+            cached=o.cached,
+        )
+        for o in results
+    ]
     survivors = [o for o in ordered if o.stats is not None]
     if not survivors:
         errors = "; ".join(f"shard {o.index}: {o.error}" for o in ordered)
@@ -393,74 +443,3 @@ def soak_run(
     )
     metrics.emit("soak_done", **report.stats_doc())
     return report
-
-
-def _run_shards(
-    jobs: List[ShardJob],
-    workers: int,
-    metrics: MetricsLogger,
-    campaign_key: str,
-) -> List[ShardOutcome]:
-    if workers > 1 and len(jobs) > 1:
-        try:
-            return _run_pool(jobs, workers, metrics)
-        except OSError:
-            # No usable multiprocessing primitives (restricted
-            # sandboxes) — degrade to the serial path.
-            metrics.emit("pool_unavailable", campaign=campaign_key)
-    return [_run_isolated(job, metrics) for job in jobs]
-
-
-def _outcome_of(job: ShardJob, stats: FuzzStats) -> ShardOutcome:
-    return ShardOutcome(
-        index=job.index, start=job.start, count=job.count, stats=stats
-    )
-
-
-def _run_pool(
-    jobs: List[ShardJob], workers: int, metrics: MetricsLogger
-) -> List[ShardOutcome]:
-    outcomes: List[ShardOutcome] = []
-    with ProcessPoolExecutor(max_workers=min(workers, len(jobs))) as pool:
-        futures = {pool.submit(run_shard_job, job): job for job in jobs}
-        for future, job in futures.items():
-            try:
-                stats = future.result()
-            except Exception as exc:
-                outcomes.append(
-                    ShardOutcome(
-                        index=job.index, start=job.start, count=job.count,
-                        stats=None, error=str(exc),
-                    )
-                )
-                metrics.emit("shard_crashed", shard=job.index, error=str(exc))
-            else:
-                outcomes.append(_outcome_of(job, stats))
-                metrics.emit(
-                    "shard_done",
-                    shard=job.index,
-                    start=job.start,
-                    count=job.count,
-                    failures=len(stats.failures),
-                )
-    return outcomes
-
-
-def _run_isolated(job: ShardJob, metrics: MetricsLogger) -> ShardOutcome:
-    with span("soak.shard", shard=job.index, count=job.count):
-        try:
-            stats = run_shard_job(job)
-        except Exception as exc:
-            metrics.emit("shard_crashed", shard=job.index, error=str(exc))
-            return ShardOutcome(
-                index=job.index, start=job.start, count=job.count,
-                stats=None, error=str(exc),
-            )
-    metrics.emit(
-        "shard_done",
-        shard=job.index,
-        start=job.start,
-        count=job.count,
-        failures=len(stats.failures),
-    )
-    return _outcome_of(job, stats)

@@ -254,9 +254,16 @@ class TestBenchCommand:
 class TestDseCommand:
     def test_dse_defaults(self):
         args = build_parser().parse_args(["dse", "dsp"])
-        assert args.jobs == 1
+        assert args.workers == 1
         assert args.checkpoint_every == 25
         assert not args.resume and not args.no_cache
+
+    def test_deprecated_jobs_alias_maps_to_workers(self, capsys):
+        args = build_parser().parse_args(["dse", "dsp", "--jobs", "3"])
+        assert args.workers == 3
+        assert "deprecated" in capsys.readouterr().err
+        args = build_parser().parse_args(["soak", "-j", "2"])
+        assert args.workers == 2
 
     def test_cold_then_warm_cache(self, tmp_path, capsys):
         cache = tmp_path / "cache"
