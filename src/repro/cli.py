@@ -6,7 +6,13 @@ Commands mirror the library's main flows:
 * ``generate``             — run the DSE for a suite/workload set, save the design
 * ``dse``                  — like ``generate`` but through the parallel engine:
   multi-seed worker pool (``--workers``), persistent artifact cache
-  (``--cache-dir``), checkpoint/resume (``--resume``), JSONL metrics
+  (``--cache-dir``), checkpoint/resume (``--resume``), JSONL metrics;
+  ``--strategy`` switches to the pluggable search runtime
+  (anneal/bottleneck/evolutionary/tpe) with persistent multi-objective
+  studies (``--pareto``, ``--html``, ``--list-strategies``)
+* ``study``                — list/show/export/merge persistent search
+  studies from the artifact store; ``import`` turns ``dse_point``
+  metrics JSONL into a study
 * ``inspect <design>``     — render a saved design (ASCII + resources)
 * ``map <design> <name>``  — compile+schedule a workload onto a saved design
 * ``simulate <design> <name>`` — cycle-level simulation of a mapped workload
@@ -16,7 +22,8 @@ Commands mirror the library's main flows:
 * ``report``               — regenerate EXPERIMENTS.md
 * ``bench``                — fixed-seed DSE + simulation benchmarks with
   span tracing; writes ``BENCH_dse.json``/``BENCH_sim.json`` and supports
-  ``--compare BASELINE.json`` regression checks
+  ``--compare BASELINE.json`` regression checks; ``bench search`` runs
+  the strategy shootout and writes ``BENCH_search.json``
 * ``fuzz``                 — differential model-vs-simulator fuzzing:
   generate random cases, check invariants, shrink failures, record them
   in the divergence corpus; exits 1 when new failures (or invariant
@@ -136,8 +143,32 @@ def _cmd_generate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cache_dir_for(args: argparse.Namespace) -> Optional[str]:
+    """The persistent store directory, honoring --no-cache/--cache-dir."""
+    if getattr(args, "no_cache", False):
+        return None
+    return getattr(args, "cache_dir", None) or os.environ.get(
+        "REPRO_CACHE_DIR",
+        os.path.join(os.path.expanduser("~"), ".cache", "repro-overgen"),
+    )
+
+
 def _cmd_dse(args: argparse.Namespace) -> int:
     from .engine import DseEngine, MetricsLogger
+
+    if args.list_strategies:
+        from .search import strategy_names
+
+        for name in strategy_names():
+            print(name)
+        return 0
+    if not args.workloads:
+        raise CliError(
+            "missing workloads argument (suite name, 'all', or "
+            "comma-separated names); or use --list-strategies"
+        )
+    if args.strategy is not None:
+        return _cmd_dse_search(args)
 
     workloads = _resolve_workloads(args.workloads)
     try:
@@ -151,12 +182,7 @@ def _cmd_dse(args: argparse.Namespace) -> int:
             f"malformed --seeds {args.seeds!r}: expected comma-separated "
             "integers"
         ) from exc
-    cache_dir = None
-    if not args.no_cache:
-        cache_dir = args.cache_dir or os.environ.get(
-            "REPRO_CACHE_DIR",
-            os.path.join(os.path.expanduser("~"), ".cache", "repro-overgen"),
-        )
+    cache_dir = _cache_dir_for(args)
     engine = DseEngine(
         cache_dir=cache_dir or None,
         workers=args.workers,
@@ -207,6 +233,256 @@ def _cmd_dse(args: argparse.Namespace) -> int:
     if args.metrics:
         print(f"metrics stream appended to {args.metrics}")
     return 0
+
+
+def _cmd_dse_search(args: argparse.Namespace) -> int:
+    """The pluggable-strategy path of ``repro dse`` (``--strategy``)."""
+    from .engine import MetricsLogger
+    from .engine.store import ArtifactStore
+    from .search import (
+        SearchSettings,
+        export_frontier,
+        render_html,
+        run_search,
+        strategy_names,
+    )
+
+    if args.strategy not in strategy_names():
+        raise CliError(
+            f"unknown strategy {args.strategy!r}; available: "
+            + ", ".join(strategy_names())
+        )
+    workloads = _resolve_workloads(args.workloads)
+    cache_dir = _cache_dir_for(args)
+    store = ArtifactStore(cache_dir) if cache_dir else None
+    # The anneal strategy walks the legacy iteration schedule, so its
+    # natural trial budget is --iterations; samplers default to 16.
+    trials = args.trials
+    if trials is None:
+        trials = args.iterations if args.strategy == "anneal" else 16
+    settings = SearchSettings(
+        strategy=args.strategy,
+        trials=trials,
+        batch=args.batch,
+        seed=args.seed,
+        workers=args.workers,
+    )
+    print(
+        f"search[{args.strategy}] for {len(workloads)} workload(s): "
+        f"{', '.join(w.name for w in workloads)} — {trials} trial(s), "
+        f"batch {args.batch}, {args.workers} worker(s), store "
+        f"{cache_dir or 'disabled'}"
+    )
+    outcome = run_search(
+        workloads,
+        DseConfig(iterations=args.iterations, seed=args.seed),
+        settings,
+        store=store,
+        metrics=MetricsLogger(args.metrics),
+        rebuild_best=True,
+        name=args.name or args.workloads,
+    )
+    study = outcome.study
+    resumed = " (resumed from store)" if outcome.resumed else ""
+    print(
+        f"study {outcome.key[:16]}: {len(study.trials)} trial(s), "
+        f"{len(study.feasible_trials())} feasible{resumed}"
+    )
+    best = outcome.best_trial
+    if best is None:
+        print("no feasible trials")
+    else:
+        print(
+            f"best trial #{best.index}: objective {best.objective:.2f}, "
+            f"lut {best.lut:.3f}, bram {best.bram:.3f}, dsp {best.dsp:.3f}"
+        )
+    if outcome.sysadg is not None:
+        print(outcome.sysadg.summary())
+        util = system_resources(outcome.sysadg).utilization(XCVU9P)
+        print(
+            "utilization: "
+            + "  ".join(f"{k}={v:.0%}" for k, v in util.items())
+        )
+        save_sysadg(outcome.sysadg, args.output)
+        print(f"saved design to {args.output}")
+    if outcome.dse_result is not None:
+        print(
+            f"modeled DSE time: {outcome.dse_result.modeled_hours:.1f} h"
+        )
+    if args.pareto:
+        with open(args.pareto, "w") as f:
+            f.write(export_frontier(study))
+        print(f"wrote Pareto frontier to {args.pareto}")
+    if args.html:
+        with open(args.html, "w") as f:
+            f.write(render_html(study))
+        print(f"wrote HTML report to {args.html}")
+    if args.metrics:
+        print(f"metrics stream appended to {args.metrics}")
+    return 0
+
+
+def _study_axes(spec: Optional[str]):
+    from .search import DEFAULT_AXES, parse_axis
+
+    if not spec:
+        return DEFAULT_AXES
+    try:
+        return tuple(parse_axis(part) for part in spec.split(",") if part)
+    except ValueError as exc:
+        raise CliError(str(exc)) from exc
+
+
+def _study_resolve(store, prefix: str) -> str:
+    """Full study key for a (possibly abbreviated) key prefix."""
+    from .search import list_studies
+
+    keys = [row["key"] for row in list_studies(store)]
+    matches = [k for k in keys if k.startswith(prefix)]
+    if not matches:
+        raise CliError(f"no study matching {prefix!r} in the store")
+    if len(matches) > 1:
+        raise CliError(
+            f"ambiguous study prefix {prefix!r}: {len(matches)} matches"
+        )
+    return matches[0]
+
+
+def _cmd_study(args: argparse.Namespace) -> int:
+    import json
+
+    from .engine.store import ArtifactStore
+    from .search import (
+        export_study,
+        frontier_doc,
+        list_studies,
+        load_study,
+        merge_studies,
+        render_html,
+        save_study,
+        study_from_points,
+    )
+
+    store = ArtifactStore(args.study_dir or _cache_dir_for(args))
+    axes = _study_axes(args.axes)
+
+    def _load(prefix: str):
+        study, _state = load_study(store, _study_resolve(store, prefix))
+        if study is None:
+            raise CliError(f"study {prefix!r} is unreadable")
+        return study
+
+    def _write(text: str, what: str) -> None:
+        if args.output:
+            with open(args.output, "w") as f:
+                f.write(text)
+            print(f"wrote {what} to {args.output}")
+        else:
+            sys.stdout.write(text)
+
+    if args.action == "list":
+        rows = list_studies(store)
+        if not rows:
+            print(f"no studies in {store.root}")
+            return 0
+        for row in rows:
+            print(
+                f"{row['key'][:16]} {row['strategy']:12s} "
+                f"seed={row['seed']} batch={row['batch']} "
+                f"trials={row['trials']} "
+                f"workloads={','.join(row['workloads'])}"
+            )
+        return 0
+
+    if not args.keys:
+        raise CliError(f"study {args.action} needs at least one study key")
+
+    if args.action == "show":
+        study = _load(args.keys[0])
+        front = frontier_doc(study, axes)
+        print(f"study {study.key}")
+        print(
+            f"strategy {study.strategy}, seed {study.seed}, "
+            f"batch {study.batch}, workloads "
+            f"{', '.join(study.workloads)}"
+        )
+        print(
+            f"{len(study.trials)} trial(s), "
+            f"{len(study.feasible_trials())} feasible, "
+            f"frontier {len(front['points'])} point(s), "
+            f"hypervolume {front['hypervolume']:.6g}"
+        )
+        best = study.best_trial()
+        if best is not None:
+            print(
+                f"best trial #{best.index}: objective "
+                f"{best.objective:.2f}, lut {best.lut:.3f}, "
+                f"bram {best.bram:.3f}, dsp {best.dsp:.3f}"
+            )
+        for point in front["points"]:
+            cells = "  ".join(
+                f"{axis.name}={point[axis.name]:.4g}" for axis in axes
+            )
+            print(f"  frontier trial #{point['trial']}: {cells}")
+        return 0
+
+    if args.action == "export":
+        study = _load(args.keys[0])
+        if args.html:
+            with open(args.html, "w") as f:
+                f.write(render_html(study, axes))
+            print(f"wrote HTML report to {args.html}")
+        _write(export_study(study, axes), f"study {study.key[:16]}")
+        return 0
+
+    if args.action == "merge":
+        if len(args.keys) < 2:
+            raise CliError("study merge needs at least two study keys")
+        merged = merge_studies([_load(prefix) for prefix in args.keys])
+        save_study(store, merged)
+        print(
+            f"merged {len(args.keys)} studies -> {merged.key[:16]} "
+            f"({len(merged.trials)} trial(s) after dedup)"
+        )
+        return 0
+
+    if args.action == "import":
+        path = args.keys[0]
+        points = []
+        workloads = set()
+        try:
+            with open(path) as f:
+                for line in f:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    record = json.loads(line)
+                    if record.get("event") == "dse_point":
+                        points.append(record)
+                    elif record.get("event") == "run_start":
+                        names = record.get("workloads") or (
+                            [record["name"]] if record.get("name") else []
+                        )
+                        workloads.update(names)
+        except FileNotFoundError as exc:
+            raise CliError(f"no such metrics file: {path}") from exc
+        except (OSError, json.JSONDecodeError) as exc:
+            raise CliError(f"cannot read metrics {path}: {exc}") from exc
+        if not points:
+            raise CliError(f"{path}: no dse_point events to import")
+        study = study_from_points(
+            points,
+            workloads=sorted(workloads),
+            strategy="import",
+        )
+        save_study(store, study)
+        print(
+            f"imported {len(points)} dse_point event(s) -> study "
+            f"{study.key[:16]}"
+        )
+        return 0
+
+    raise CliError(f"unknown study action {args.action!r}")
 
 
 def _load_design(path: str):
@@ -347,12 +623,18 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             raise CliError(
                 f"cannot read baseline {args.compare}: {exc}"
             ) from exc
-        if baseline.get("kind") not in ("dse", "sim"):
+        if baseline.get("kind") not in ("dse", "sim", "search"):
             raise CliError(
                 f"{args.compare}: not a BENCH report (missing/unknown 'kind')"
             )
 
     metrics = MetricsLogger(args.metrics) if args.metrics else None
+    if args.what == "search":
+        return _bench_search(args, baseline, metrics)
+    if baseline is not None and baseline.get("kind") == "search":
+        raise CliError(
+            f"{args.compare} is a search baseline; run `repro bench search`"
+        )
     report = run_bench(
         budget,
         seed=args.seed,
@@ -395,22 +677,63 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     if baseline is not None:
         current_doc = report.dse if baseline["kind"] == "dse" else report.sim
         cmp = compare_reports(current_doc, baseline, tolerance=args.tolerance)
-        for row in cmp["rows"]:
-            ratio = (
-                f"{row['ratio']:.2f}x" if row["ratio"] is not None else "n/a"
-            )
-            print(
-                f"  {row['status']:12s} {row['metric']}: "
-                f"{row['current']} vs baseline {row['baseline']} ({ratio})"
-            )
-        if cmp["ok"]:
-            print(f"compare vs {args.compare}: OK (tolerance {args.tolerance})")
-        else:
-            print(
-                f"FAIL: regression vs {args.compare} in "
-                f"{', '.join(cmp['regressions'])}"
-            )
-            rc = 1
+        rc = max(rc, _print_compare(cmp, args.compare, args.tolerance))
+    return rc
+
+
+def _print_compare(cmp, compare_path: str, tolerance: float) -> int:
+    """Render one compare_reports result; 1 when it regressed."""
+    for row in cmp["rows"]:
+        ratio = (
+            f"{row['ratio']:.2f}x" if row["ratio"] is not None else "n/a"
+        )
+        print(
+            f"  {row['status']:12s} {row['metric']}: "
+            f"{row['current']} vs baseline {row['baseline']} ({ratio})"
+        )
+    if cmp["ok"]:
+        print(f"compare vs {compare_path}: OK (tolerance {tolerance})")
+        return 0
+    print(
+        f"FAIL: regression vs {compare_path} in "
+        f"{', '.join(cmp['regressions'])}"
+    )
+    return 1
+
+
+def _bench_search(args: argparse.Namespace, baseline, metrics) -> int:
+    """The ``repro bench search`` strategy shootout."""
+    from .profile.bench import BUDGETS, compare_reports, run_search_bench
+
+    if baseline is not None and baseline.get("kind") != "search":
+        raise CliError(
+            f"{args.compare}: kind {baseline.get('kind')!r} baseline does "
+            "not apply to `bench search`"
+        )
+    budget = BUDGETS[args.budget]
+    doc, path = run_search_bench(
+        budget,
+        seed=args.seed,
+        out_dir=args.out_dir,
+        trace_path=args.trace,
+        metrics=metrics,
+    )
+    for strat in sorted(doc["strategies"]):
+        row = doc["strategies"][strat]
+        print(
+            f"search[{budget.name}] {strat:12s}: best objective "
+            f"{row['best_objective']:.2f}, hypervolume "
+            f"{row['hypervolume']:.4g}, {row['feasible']}/{row['trials']} "
+            f"feasible, {row['wall_seconds']:.2f}s"
+        )
+    print(f"best strategy: {doc['best_strategy']}")
+    print(f"wrote {path}")
+    if args.trace:
+        print(f"wrote Chrome trace to {args.trace}")
+    rc = 0
+    if baseline is not None:
+        cmp = compare_reports(doc, baseline, tolerance=args.tolerance)
+        rc = _print_compare(cmp, args.compare, args.tolerance)
     return rc
 
 
@@ -700,12 +1023,42 @@ def build_parser() -> argparse.ArgumentParser:
         help="engine DSE: parallel multi-seed, cached, checkpoint/resume",
     )
     dse.add_argument(
-        "workloads",
+        "workloads", nargs="?", default=None,
         help="suite name (dsp/machsuite/vision), 'all', or comma-separated names",
     )
     dse.add_argument("-o", "--output", default="overlay.json")
     dse.add_argument("-n", "--iterations", type=int, default=150)
     dse.add_argument("-s", "--seed", type=int, default=2)
+    dse.add_argument(
+        "--strategy", default=None,
+        help="run the pluggable search runtime with this strategy "
+             "(anneal | bottleneck | evolutionary | tpe) instead of the "
+             "multi-seed engine",
+    )
+    dse.add_argument(
+        "--list-strategies", action="store_true",
+        help="list the registered search strategies and exit",
+    )
+    dse.add_argument(
+        "--trials", type=int, default=None,
+        help="search trial budget (default: --iterations for anneal, "
+             "16 for the samplers)",
+    )
+    dse.add_argument(
+        "--batch", type=int, default=1,
+        help="proposals per ask/tell round (search path only; results "
+             "are identical for any --workers)",
+    )
+    dse.add_argument(
+        "--pareto", nargs="?", const="pareto.json", default=None,
+        metavar="PATH",
+        help="write the study's Pareto-frontier JSON (default PATH: "
+             "pareto.json)",
+    )
+    dse.add_argument(
+        "--html", default=None, metavar="PATH",
+        help="write the self-contained HTML study report",
+    )
     dse.add_argument(
         "--seeds",
         default=None,
@@ -794,9 +1147,48 @@ def build_parser() -> argparse.ArgumentParser:
     rep.add_argument("-o", "--output", default="EXPERIMENTS.md")
     rep.set_defaults(func=_cmd_report)
 
+    study = sub.add_parser(
+        "study",
+        help="inspect, export, merge, and import persistent search studies",
+    )
+    study.add_argument(
+        "action",
+        choices=("list", "show", "export", "merge", "import"),
+        help="list studies; show/export one; merge several into a new "
+             "study; import dse_point metrics JSONL as a study",
+    )
+    study.add_argument(
+        "keys", nargs="*",
+        help="study key prefixes (or, for import, a metrics JSONL path)",
+    )
+    study.add_argument(
+        "--study-dir", default=None,
+        help="store directory (default: $REPRO_CACHE_DIR or "
+             "~/.cache/repro-overgen)",
+    )
+    study.add_argument(
+        "-o", "--output", default=None,
+        help="write export output here instead of stdout",
+    )
+    study.add_argument(
+        "--axes", default=None,
+        help="comma-separated objective axes as name:sense (default: "
+             "objective:max,lut:min,dsp:min,bram:min)",
+    )
+    study.add_argument(
+        "--html", default=None, metavar="PATH",
+        help="with export: also write the HTML report here",
+    )
+    study.set_defaults(func=_cmd_study, cache_dir=None, no_cache=False)
+
     bench = sub.add_parser(
         "bench",
         help="fixed-seed DSE + simulation benchmarks with span tracing",
+    )
+    bench.add_argument(
+        "what", nargs="?", choices=("core", "search"), default="core",
+        help="core: DSE+simulation benchmarks (default); search: the "
+             "strategy shootout (writes BENCH_search.json)",
     )
     bench.add_argument(
         "--budget", choices=("smoke", "small", "full"), default="small",

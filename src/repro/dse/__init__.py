@@ -1,6 +1,7 @@
 """Unified spatial + system design-space exploration (Section V)."""
 
 from .explorer import (
+    AcceptedPoint,
     DseConfig,
     DseResult,
     DseStats,
@@ -21,6 +22,7 @@ from .transforms import (
 )
 
 __all__ = [
+    "AcceptedPoint",
     "DseConfig",
     "DseResult",
     "DseStats",

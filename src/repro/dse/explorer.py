@@ -98,6 +98,16 @@ class DseStats:
     random_transforms: int = 0
 
 
+#: One accepted DSE point with its full resource vector:
+#: ``(iteration, modeled_hours, objective, lut, ff, bram, dsp)``.  The
+#: resources are the *system total* of the accepted :class:`SystemChoice`
+#: (the "does it fit this FPGA budget" number), recorded for every accept
+#: — not just the final best — so the engine metrics stream and the
+#: :mod:`repro.search` study importer can reconstruct the whole
+#: perf-vs-resources trajectory.
+AcceptedPoint = Tuple[int, float, float, float, float, float, float]
+
+
 @dataclass
 class ExplorerState:
     """Complete annealer state at an iteration boundary (checkpointable).
@@ -120,6 +130,7 @@ class ExplorerState:
     history: List[Tuple[int, float, float]]
     modeled_seconds: float
     config_fingerprint: str = ""
+    points: List[AcceptedPoint] = field(default_factory=list)
 
 
 @dataclass
@@ -133,6 +144,9 @@ class DseResult:
     stats: DseStats
     variant_sets: Dict[str, VariantSet]
     modeled_seconds: float
+    #: Every accepted point with its full LUT/FF/BRAM/DSP vector (same
+    #: iterations as ``history``; resources are the system total).
+    points: List[AcceptedPoint] = field(default_factory=list)
 
     @property
     def modeled_hours(self) -> float:
@@ -165,6 +179,7 @@ class Explorer:
         self.stats = DseStats()
         self.modeled_seconds = 0.0
         self.history: List[Tuple[int, float, float]] = []
+        self.points: List[AcceptedPoint] = []
         # Schedule/simulation results memo, shared by every explorer run
         # over this exact config (wall-clock only: modeled seconds and
         # stats still charge as if recomputed, so resume is bit-identical).
@@ -216,9 +231,7 @@ class Explorer:
             if choice is None:
                 raise RuntimeError("seed ADG does not fit the FPGA")
             best = (adg, schedules, choice)
-            self.history.append(
-                (0, self.modeled_seconds / 3600.0, choice.objective)
-            )
+            self._record_accept(0, choice)
             start = 1
 
         for iteration in range(start, cfg.iterations + 1):
@@ -244,9 +257,7 @@ class Explorer:
                 best = (cand_adg, cand_schedules, cand_choice)
                 self.stats.accepted += 1
                 add_counter("dse.accepted")
-                self.history.append(
-                    (iteration, self.modeled_seconds / 3600.0, cand_choice.objective)
-                )
+                self._record_accept(iteration, cand_choice)
             else:
                 self.stats.rejected_annealing += 1
                 add_counter("dse.rejected")
@@ -280,6 +291,25 @@ class Explorer:
             stats=self.stats,
             variant_sets=variant_sets,
             modeled_seconds=self.modeled_seconds,
+            points=self.points,
+        )
+
+    # ------------------------------------------------------------------
+    def _record_accept(self, iteration: int, choice: SystemChoice) -> None:
+        """Book one accepted point into both trajectory streams."""
+        modeled_h = self.modeled_seconds / 3600.0
+        self.history.append((iteration, modeled_h, choice.objective))
+        total = choice.system_total
+        self.points.append(
+            (
+                iteration,
+                modeled_h,
+                choice.objective,
+                total.lut,
+                total.ff,
+                total.bram,
+                total.dsp,
+            )
         )
 
     # ------------------------------------------------------------------
@@ -303,6 +333,7 @@ class Explorer:
             history=list(self.history),
             modeled_seconds=self.modeled_seconds,
             config_fingerprint=config_fingerprint,
+            points=list(self.points),
         )
 
     def _restore(
@@ -314,6 +345,8 @@ class Explorer:
         self.rng.setstate(state.rng_state)
         self.stats = replace(state.stats)
         self.history = list(state.history)
+        # Pre-points checkpoints (schema < 3) restore with an empty list.
+        self.points = list(getattr(state, "points", []))
         self.modeled_seconds = state.modeled_seconds
         schedules = {k: s.clone() for k, s in state.schedules.items()}
         return adg, schedules, state.choice

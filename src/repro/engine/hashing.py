@@ -30,7 +30,11 @@ from ..ir import Workload
 #: v2: the schedule-preserving fast path skips repair and charges
 #: ``TimeModel.revalidate``, so modeled seconds / stats in old artifacts
 #: are stale.
-CODE_SCHEMA_VERSION = 2
+#: v3: ``DseResult``/``ExplorerState`` grew ``points`` — the full
+#: LUT/FF/BRAM/DSP resource vector for every accepted DSE point — so
+#: pre-v3 artifacts would deserialize without the trajectory the
+#: ``repro.search`` study importer and ``dse_point`` metrics rely on.
+CODE_SCHEMA_VERSION = 3
 
 
 def canonicalize(obj: Any) -> Any:

@@ -352,6 +352,23 @@ class DseEngine:
                 objective=outcome.result.choice.objective,
                 resumed=outcome.resumed,
             )
+            # Full resource vector for every accepted point, not just the
+            # final best — the search-study importer and bench attribution
+            # both read these back out of the JSONL stream.
+            for it, modeled_h, objective, lut, ff, bram, dsp in (
+                outcome.result.points
+            ):
+                self.metrics.emit(
+                    "dse_point",
+                    seed=outcome.seed,
+                    iteration=it,
+                    modeled_hours=modeled_h,
+                    objective=objective,
+                    lut=lut,
+                    ff=ff,
+                    bram=bram,
+                    dsp=dsp,
+                )
 
     def _to_seed_outcome(self, out: JobOutcome) -> SeedOutcome:
         if out.timed_out:

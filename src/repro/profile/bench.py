@@ -37,7 +37,24 @@ BENCH_SCHEMA = 1
 COMPARED_METRICS: Dict[str, Tuple[str, ...]] = {
     "dse": ("candidates_per_second", "fast_path_speedup", "memo_speedup"),
     "sim": ("cycles_per_second", "memo_speedup"),
+    # The strategy shootout compares solution quality, which is
+    # deterministic per (budget, seed) — regressions here mean a search
+    # code change, not machine noise.
+    "search": (
+        "anneal_best_objective",
+        "bottleneck_best_objective",
+        "evolutionary_best_objective",
+        "tpe_best_objective",
+    ),
 }
+
+#: Strategies the ``bench search`` shootout runs, in report order.
+SEARCH_STRATEGIES: Tuple[str, ...] = (
+    "anneal",
+    "bottleneck",
+    "evolutionary",
+    "tpe",
+)
 
 
 @dataclass(frozen=True)
@@ -49,6 +66,8 @@ class BenchBudget:
     dse_iterations: int
     sim_workloads: Tuple[str, ...]
     overhead_calls: int
+    #: Per-strategy trial budget of the ``bench search`` shootout.
+    search_trials: int = 8
 
 
 BUDGETS: Dict[str, BenchBudget] = {
@@ -58,6 +77,7 @@ BUDGETS: Dict[str, BenchBudget] = {
         dse_iterations=8,
         sim_workloads=("fir", "vecmax"),
         overhead_calls=20_000,
+        search_trials=6,
     ),
     "small": BenchBudget(
         name="small",
@@ -65,6 +85,7 @@ BUDGETS: Dict[str, BenchBudget] = {
         dse_iterations=40,
         sim_workloads=("fir", "mm", "bgr2grey", "vecmax"),
         overhead_calls=50_000,
+        search_trials=12,
     ),
     "full": BenchBudget(
         name="full",
@@ -75,6 +96,7 @@ BUDGETS: Dict[str, BenchBudget] = {
             "vecmax",
         ),
         overhead_calls=200_000,
+        search_trials=32,
     ),
 }
 
@@ -256,6 +278,108 @@ def bench_sim(budget: BenchBudget, seed: int) -> Dict[str, Any]:
         ),
         "memo": memo.stats.as_dict(),
     }
+
+
+def bench_search(
+    budget: BenchBudget, seed: int
+) -> Dict[str, Any]:
+    """Strategy shootout: every registered strategy, same trial budget.
+
+    Solution-quality numbers (best objective, hypervolume, frontier
+    size) are deterministic per (budget, seed); wall-clock rates are
+    recorded for context but deliberately not regression-compared.
+    """
+    from ..dse import DseConfig
+    from ..search import SearchSettings, frontier_doc, run_search
+    from ..workloads import get_workload
+
+    workloads = [get_workload(n) for n in budget.dse_workloads]
+    trials = budget.search_trials
+    config = DseConfig(iterations=trials, seed=seed)
+    rows: Dict[str, Dict[str, Any]] = {}
+    for strat in SEARCH_STRATEGIES:
+        t0 = perf_counter()
+        outcome = run_search(
+            workloads,
+            config,
+            SearchSettings(
+                strategy=strat,
+                trials=trials,
+                batch=1 if strat == "anneal" else 4,
+                seed=seed,
+            ),
+            store=None,
+            resume=False,
+            name=f"bench-search-{budget.name}",
+        )
+        wall = perf_counter() - t0
+        study = outcome.study
+        front = frontier_doc(study)
+        best = outcome.best_trial
+        rows[strat] = {
+            "trials": len(study.trials),
+            "feasible": len(study.feasible_trials()),
+            "best_objective": best.objective if best else 0.0,
+            "hypervolume": front["hypervolume"],
+            "frontier_size": len(front["points"]),
+            "wall_seconds": wall,
+            "trials_per_second": (
+                len(study.trials) / wall if wall > 0 else 0.0
+            ),
+        }
+    best_strategy = max(
+        rows, key=lambda s: (rows[s]["best_objective"], s)
+    )
+    doc: Dict[str, Any] = {
+        "schema": BENCH_SCHEMA,
+        "kind": "search",
+        "budget": budget.name,
+        "seed": seed,
+        "workloads": list(budget.dse_workloads),
+        "trials": trials,
+        "strategies": rows,
+        "best_strategy": best_strategy,
+    }
+    # Flattened copies of the compared metrics (compare_reports reads
+    # top-level keys only).
+    for strat, row in rows.items():
+        doc[f"{strat}_best_objective"] = row["best_objective"]
+        doc[f"{strat}_hypervolume"] = row["hypervolume"]
+    return doc
+
+
+def run_search_bench(
+    budget: BenchBudget,
+    seed: int = 2,
+    out_dir: str = ".",
+    trace_path: Optional[str] = None,
+    metrics: Optional[Any] = None,
+) -> Tuple[Dict[str, Any], str]:
+    """Run the strategy shootout; write ``BENCH_search.json``."""
+    os.makedirs(out_dir, exist_ok=True)
+    tracer = Tracer()
+    with tracing(tracer):
+        doc = bench_search(budget, seed)
+    doc["spans"] = {
+        name: st.as_dict() for name, st in tracer.summarize().items()
+    }
+    path = os.path.join(out_dir, "BENCH_search.json")
+    with open(path, "w") as f:
+        json.dump(doc, f, indent=2, sort_keys=True)
+        f.write("\n")
+    if trace_path:
+        tracer.write_chrome_trace(trace_path)
+    if metrics is not None:
+        tracer.flush_to_metrics(metrics)
+        metrics.emit(
+            "bench_search",
+            **{
+                k: v
+                for k, v in doc.items()
+                if k not in ("spans", "strategies")
+            },
+        )
+    return doc, path
 
 
 def run_bench(

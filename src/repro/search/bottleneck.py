@@ -1,0 +1,106 @@
+"""Greedy bottleneck-repair search.
+
+Each evaluated design reports the perf model's dominant bottleneck class
+(the limiting factor of the slowest workload — spad read/write ports,
+DMA, NoC, L2, DRAM, recurrence/generate engines, or compute-bound).  The
+strategy keeps the best genome found so far and extends it with
+transforms *targeted at that bottleneck* — the hill-climbing analogue of
+how a human reads the roofline and widens whichever resource is pinching.
+A small exploration probability keeps it from wedging when the targeted
+repairs stop paying.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .space import TRANSFORM_NAMES, Gene
+from .strategy import Proposal, SearchContext, Strategy, register, stable_rng
+from .study import Trial
+
+#: bottleneck class -> transforms most likely to relieve it.
+REPAIRS: Dict[str, Tuple[str, ...]] = {
+    "spad": ("mutate_spad", "add_port", "resize_port"),
+    "dma": ("mutate_engine_bandwidth", "add_port", "resize_port"),
+    "noc": ("mutate_spad", "add_port"),
+    "l2": ("mutate_spad",),
+    "dram": ("mutate_spad", "mutate_engine_bandwidth"),
+    "rec": ("mutate_engine_bandwidth",),
+    "gen": ("mutate_engine_bandwidth",),
+    # Compute-bound: grow the fabric itself.
+    "none": (
+        "add_pe",
+        "add_cap",
+        "resize_pe_width",
+        "add_switch",
+        "add_fabric_link",
+    ),
+}
+
+
+def repairs_for(bottleneck: str) -> Tuple[str, ...]:
+    """The repair set for a perf-model factor key (e.g. ``spad3.read``)."""
+    head = bottleneck.split(".", 1)[0]
+    head = "".join(c for c in head if not c.isdigit())
+    return REPAIRS.get(head, REPAIRS["none"])
+
+
+@register
+class BottleneckStrategy(Strategy):
+    """Greedy repair guided by the dominant bottleneck class."""
+
+    name = "bottleneck"
+    explore_prob = 0.25
+
+    def __init__(self, ctx: SearchContext) -> None:
+        super().__init__(ctx)
+        self.rng = stable_rng(ctx.seed, "search", self.name)
+        self.salt = 0
+        self.best_genes: Tuple[Gene, ...] = ()
+        self.best_objective: Optional[float] = None
+        self.bottleneck = "none"
+        self.booted = False
+
+    def _proposal(self, genes: Tuple[Gene, ...]) -> Proposal:
+        return Proposal(
+            kind="genome",
+            payload={"genes": [list(g) for g in genes]},
+            lineage={
+                "bottleneck": self.bottleneck,
+                "genes": [list(g) for g in genes],
+            },
+        )
+
+    def ask(self, n: int) -> List[Proposal]:
+        if not self.booted:
+            # Score the unmodified seed design first to learn its
+            # bottleneck; everything grows from there.
+            self.booted = True
+            return [self._proposal(())]
+        repairs = repairs_for(self.bottleneck)
+        proposals = []
+        for i in range(max(0, n)):
+            if self.rng.random() < self.explore_prob:
+                op = self.rng.choice(TRANSFORM_NAMES)
+            else:
+                op = repairs[i % len(repairs)]
+            self.salt += 1
+            proposals.append(
+                self._proposal(self.best_genes + ((op, self.salt),))
+            )
+        return proposals
+
+    def tell(self, trials: Sequence[Trial]) -> None:
+        for trial in trials:
+            if not trial.feasible or trial.objective is None:
+                continue
+            if (
+                self.best_objective is None
+                or trial.objective > self.best_objective
+            ):
+                self.best_objective = trial.objective
+                self.best_genes = tuple(
+                    (g[0], int(g[1])) for g in trial.lineage["genes"]
+                )
+                if trial.bottleneck:
+                    self.bottleneck = trial.bottleneck

@@ -1,0 +1,120 @@
+"""Evolutionary search over ADG transform-sequence genomes.
+
+A genome is an ordered list of ``(transform, salt)`` genes replayed onto
+the seed ADG (see :mod:`repro.search.space`).  Generations of a fixed
+population evolve by elite selection, single-point crossover, and
+append/replace/delete mutation.  All randomness flows from one
+:func:`~repro.search.strategy.stable_rng` stream consumed in a fixed
+order (breeding happens only after the whole generation is told, and the
+runner tells in global index order), so the study is byte-identical for
+any worker count.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from .space import TRANSFORM_NAMES, Gene
+from .strategy import Proposal, SearchContext, Strategy, register, stable_rng
+from .study import Trial
+
+#: Objective assigned to infeasible genomes when ranking.
+_INFEASIBLE = float("-inf")
+
+
+@register
+class EvolutionaryStrategy(Strategy):
+    """Mutation + crossover over transform sequences."""
+
+    name = "evolutionary"
+    population = 8
+    elite = 4
+    init_genes = 2
+    crossover_prob = 0.6
+
+    def __init__(self, ctx: SearchContext) -> None:
+        super().__init__(ctx)
+        self.max_batch = self.population
+        self.rng = stable_rng(ctx.seed, "search", self.name)
+        self.salt = 0
+        self.generation = 0
+        self.inflight = 0
+        self.queue: List[Proposal] = []
+        self.scored: List[Tuple[float, Tuple[Gene, ...]]] = []
+        self.elites: List[Tuple[float, Tuple[Gene, ...]]] = []
+        self._seed_population()
+
+    # ------------------------------------------------------------------
+    def _next_salt(self) -> int:
+        self.salt += 1
+        return self.salt
+
+    def _proposal(self, genes: Tuple[Gene, ...]) -> Proposal:
+        return Proposal(
+            kind="genome",
+            payload={"genes": [list(g) for g in genes]},
+            lineage={
+                "generation": self.generation,
+                "genes": [list(g) for g in genes],
+            },
+        )
+
+    def _seed_population(self) -> None:
+        for _ in range(self.population):
+            genes = tuple(
+                (self.rng.choice(TRANSFORM_NAMES), self._next_salt())
+                for _ in range(self.init_genes)
+            )
+            self.queue.append(self._proposal(genes))
+
+    # ------------------------------------------------------------------
+    def ask(self, n: int) -> List[Proposal]:
+        if not self.queue and self.inflight == 0:
+            self._breed()
+        take = self.queue[: max(0, n)]
+        self.queue = self.queue[len(take):]
+        self.inflight += len(take)
+        return take
+
+    def tell(self, trials: Sequence[Trial]) -> None:
+        for trial in trials:
+            genes = tuple(
+                (g[0], int(g[1])) for g in trial.lineage["genes"]
+            )
+            score = (
+                trial.objective
+                if trial.feasible and trial.objective is not None
+                else _INFEASIBLE
+            )
+            self.scored.append((score, genes))
+        self.inflight -= len(trials)
+
+    # ------------------------------------------------------------------
+    def _breed(self) -> None:
+        self.generation += 1
+        pool = self.scored + self.elites
+        ranked = sorted(pool, key=lambda sg: (-sg[0], sg[1]))
+        self.elites = ranked[: self.elite]
+        self.scored = []
+        parents = [g for _, g in self.elites] or [()]
+        for _ in range(self.population):
+            if len(parents) >= 2 and self.rng.random() < self.crossover_prob:
+                a, b = self.rng.sample(parents, 2)
+                cut_a = self.rng.randint(0, len(a))
+                cut_b = self.rng.randint(0, len(b))
+                child = tuple(a[:cut_a]) + tuple(b[cut_b:])
+            else:
+                child = self.rng.choice(parents)
+            self.queue.append(self._proposal(self._mutate(child)))
+
+    def _mutate(self, genes: Tuple[Gene, ...]) -> Tuple[Gene, ...]:
+        out = list(genes)
+        roll = self.rng.random()
+        if roll < 0.5 or not out:
+            out.append((self.rng.choice(TRANSFORM_NAMES), self._next_salt()))
+        elif roll < 0.8:
+            i = self.rng.randrange(len(out))
+            out[i] = (self.rng.choice(TRANSFORM_NAMES), self._next_salt())
+        else:
+            out.pop(self.rng.randrange(len(out)))
+        return tuple(out)

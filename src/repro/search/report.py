@@ -1,0 +1,148 @@
+"""Self-contained HTML report for a study: frontier scatter + trial table.
+
+Pure string templating over the deterministic frontier document — no
+external assets, no JavaScript dependencies, no timestamps — so the same
+study always renders byte-identical HTML (the CI search-smoke job relies
+on that).
+"""
+
+from __future__ import annotations
+
+import html
+from typing import List, Sequence
+
+from .pareto import DEFAULT_AXES, Axis
+from .study import Study, frontier_doc
+
+_STYLE = """
+body { font-family: ui-monospace, Menlo, Consolas, monospace;
+       margin: 2rem; color: #222; }
+h1 { font-size: 1.2rem; } h2 { font-size: 1rem; }
+table { border-collapse: collapse; font-size: 0.8rem; }
+th, td { border: 1px solid #ccc; padding: 2px 8px; text-align: right; }
+th { background: #f0f0f0; }
+td.l, th.l { text-align: left; }
+tr.front { background: #e8f4e8; }
+.meta { color: #666; font-size: 0.85rem; }
+svg { border: 1px solid #ccc; background: #fdfdfd; }
+"""
+
+
+def render_html(
+    study: Study, axes: Sequence[Axis] = DEFAULT_AXES
+) -> str:
+    """The full report: metadata, SVG scatter, and the trial table."""
+    frontier = frontier_doc(study, axes)
+    front_indices = {p["trial"] for p in frontier["points"]}
+    x_axis = next((a for a in axes if a.sense == "min"), axes[-1])
+    y_axis = next((a for a in axes if a.sense == "max"), axes[0])
+    parts: List[str] = [
+        "<!DOCTYPE html>",
+        "<html><head><meta charset='utf-8'>",
+        f"<title>repro study {html.escape(study.key[:12])}</title>",
+        f"<style>{_STYLE}</style></head><body>",
+        f"<h1>Study <code>{html.escape(study.key[:16])}</code></h1>",
+        "<p class='meta'>"
+        f"strategy={html.escape(study.strategy)} seed={study.seed} "
+        f"batch={study.batch} trials={len(study.trials)} "
+        f"feasible={len(study.feasible_trials())} "
+        f"workloads={html.escape(', '.join(study.workloads))}<br>"
+        f"axes={html.escape(', '.join(str(a) for a in axes))} "
+        f"hypervolume={frontier['hypervolume']:.6g}</p>",
+        f"<h2>{html.escape(y_axis.name)} vs {html.escape(x_axis.name)}</h2>",
+        _scatter_svg(study, x_axis, y_axis, front_indices),
+        "<h2>Trials</h2>",
+        _trial_table(study, axes, front_indices),
+        "</body></html>",
+    ]
+    return "\n".join(parts) + "\n"
+
+
+def _scatter_svg(
+    study: Study, x_axis: Axis, y_axis: Axis, front_indices: set
+) -> str:
+    width, height, pad = 560, 360, 45
+    feasible = study.feasible_trials()
+    if not feasible:
+        return (
+            f"<svg width='{width}' height='{height}'>"
+            "<text x='20' y='30'>no feasible trials</text></svg>"
+        )
+    xs = [float(getattr(t, x_axis.name)) for t in feasible]
+    ys = [float(getattr(t, y_axis.name)) for t in feasible]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+
+    def sx(v: float) -> float:
+        return pad + (v - x_lo) / x_span * (width - 2 * pad)
+
+    def sy(v: float) -> float:
+        return height - pad - (v - y_lo) / y_span * (height - 2 * pad)
+
+    dots = []
+    for t, x, y in zip(feasible, xs, ys):
+        on_front = t.index in front_indices
+        dots.append(
+            f"<circle cx='{sx(x):.1f}' cy='{sy(y):.1f}' "
+            f"r='{5 if on_front else 3}' "
+            f"fill='{'#2a7' if on_front else '#99c'}'>"
+            f"<title>trial {t.index}: {y_axis.name}={y:.4g} "
+            f"{x_axis.name}={x:.4g}</title></circle>"
+        )
+    front = sorted(
+        (t for t in feasible if t.index in front_indices),
+        key=lambda t: float(getattr(t, x_axis.name)),
+    )
+    path = " ".join(
+        f"{'M' if i == 0 else 'L'}"
+        f"{sx(float(getattr(t, x_axis.name))):.1f},"
+        f"{sy(float(getattr(t, y_axis.name))):.1f}"
+        for i, t in enumerate(front)
+    )
+    return (
+        f"<svg width='{width}' height='{height}' "
+        f"viewBox='0 0 {width} {height}'>"
+        f"<line x1='{pad}' y1='{height - pad}' x2='{width - pad}' "
+        f"y2='{height - pad}' stroke='#888'/>"
+        f"<line x1='{pad}' y1='{pad}' x2='{pad}' y2='{height - pad}' "
+        f"stroke='#888'/>"
+        f"<text x='{width // 2}' y='{height - 8}' text-anchor='middle' "
+        f"font-size='11'>{html.escape(x_axis.name)} "
+        f"({x_lo:.4g} .. {x_hi:.4g})</text>"
+        f"<text x='12' y='{height // 2}' font-size='11' "
+        f"transform='rotate(-90 12 {height // 2})' text-anchor='middle'>"
+        f"{html.escape(y_axis.name)} ({y_lo:.4g} .. {y_hi:.4g})</text>"
+        + (f"<path d='{path}' fill='none' stroke='#2a7'/>" if path else "")
+        + "".join(dots)
+        + "</svg>"
+    )
+
+
+def _trial_table(
+    study: Study, axes: Sequence[Axis], front_indices: set
+) -> str:
+    head = (
+        "<tr><th>#</th><th class='l'>kind</th><th>feasible</th>"
+        + "".join(f"<th>{html.escape(a.name)}</th>" for a in axes)
+        + "<th class='l'>bottleneck</th></tr>"
+    )
+    rows = [head]
+    for t in study.trials:
+        cells = [
+            f"<td>{t.index}</td>",
+            f"<td class='l'>{html.escape(t.kind)}</td>",
+            f"<td>{'yes' if t.feasible else 'no'}</td>",
+        ]
+        for a in axes:
+            value = getattr(t, a.name)
+            cells.append(
+                f"<td>{value:.5g}</td>"
+                if t.feasible and value is not None
+                else "<td>-</td>"
+            )
+        cells.append(f"<td class='l'>{html.escape(t.bottleneck)}</td>")
+        marker = " class='front'" if t.index in front_indices else ""
+        rows.append(f"<tr{marker}>{''.join(cells)}</tr>")
+    return "<table>" + "".join(rows) + "</table>"

@@ -1,0 +1,149 @@
+"""A dependency-free tree-structured Parzen estimator.
+
+Optimizes over the discrete :data:`~repro.search.space.PARAM_SPACE` grid
+(fabric growth plus width/capacity/bandwidth ladders).  After a random
+startup phase, observations split at the gamma-quantile into *good* and
+*bad* sets; each dimension gets smoothed categorical densities ``l(x)``
+(good) and ``g(x)`` (bad) with a +1 prior, candidates are sampled from
+``l`` and ranked by the expected-improvement proxy ``sum(log l/g)``.
+Infeasible points score worst, steering density away from configurations
+the scheduler rejects.  All sampling flows from one crc32-stable RNG.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from .space import PARAM_SPACE, param_space_size, params_key
+from .strategy import Proposal, SearchContext, Strategy, register, stable_rng
+from .study import Trial
+
+_INFEASIBLE = float("-inf")
+
+
+@register
+class TpeStrategy(Strategy):
+    """Tree-structured Parzen estimator over the parameter grid."""
+
+    name = "tpe"
+    n_startup = 8
+    gamma = 0.25
+    n_candidates = 24
+
+    def __init__(self, ctx: SearchContext) -> None:
+        super().__init__(ctx)
+        self.rng = stable_rng(ctx.seed, "search", self.name)
+        self.observed: List[Tuple[Tuple[Any, ...], float]] = []
+        # Insertion-ordered dict, not a set: the snapshot is pickled into
+        # the study artifact, and set iteration order varies with the
+        # per-process string hash seed while dict order does not.
+        self.issued: Dict[Tuple[Any, ...], bool] = {}
+        self.inflight = 0
+        self._space_exhausted = False
+
+    @property
+    def exhausted(self) -> bool:
+        return self._space_exhausted
+
+    # ------------------------------------------------------------------
+    def ask(self, n: int) -> List[Proposal]:
+        proposals = []
+        for _ in range(max(0, n)):
+            params = self._sample()
+            if params is None:
+                self._space_exhausted = True
+                break
+            self.issued[params_key(params)] = True
+            proposals.append(
+                Proposal(
+                    kind="params",
+                    payload={"params": params},
+                    lineage={"params": params},
+                )
+            )
+        self.inflight += len(proposals)
+        return proposals
+
+    def tell(self, trials: Sequence[Trial]) -> None:
+        for trial in trials:
+            key = params_key(trial.lineage["params"])
+            score = (
+                trial.objective
+                if trial.feasible and trial.objective is not None
+                else _INFEASIBLE
+            )
+            self.observed.append((key, score))
+        self.inflight -= len(trials)
+
+    # ------------------------------------------------------------------
+    def _sample(self) -> Optional[Dict[str, Any]]:
+        if len(self.issued) >= param_space_size():
+            return None
+        if len(self.issued) < self.n_startup:
+            return self._random_unseen()
+        return self._tpe_sample()
+
+    def _random_unseen(self) -> Optional[Dict[str, Any]]:
+        for _ in range(200):
+            params = {
+                name: self.rng.choice(choices)
+                for name, choices in PARAM_SPACE
+            }
+            if params_key(params) not in self.issued:
+                return params
+        # Dense region: deterministic scan for the first unseen grid point.
+        for values in itertools.product(
+            *(choices for _, choices in PARAM_SPACE)
+        ):
+            if values not in self.issued:
+                return {
+                    name: value
+                    for (name, _), value in zip(PARAM_SPACE, values)
+                }
+        return None
+
+    def _tpe_sample(self) -> Optional[Dict[str, Any]]:
+        ranked = sorted(self.observed, key=lambda ob: (-ob[1], ob[0]))
+        n_good = max(1, int(self.gamma * len(ranked)))
+        good = [key for key, _ in ranked[:n_good]]
+        bad = [key for key, _ in ranked[n_good:]] or good
+        l_weights = self._densities(good)
+        g_weights = self._densities(bad)
+        best: Optional[Tuple[float, Tuple[Any, ...]]] = None
+        for _ in range(self.n_candidates):
+            values = tuple(
+                self.rng.choices(choices, weights=l_weights[dim])[0]
+                for dim, (_, choices) in enumerate(PARAM_SPACE)
+            )
+            if values in self.issued:
+                continue
+            score = 0.0
+            for dim, (_, choices) in enumerate(PARAM_SPACE):
+                slot = choices.index(values[dim])
+                score += math.log(
+                    l_weights[dim][slot] / g_weights[dim][slot]
+                )
+            # Deterministic tie-break on the value tuple itself.
+            if best is None or (score, values) > best:
+                best = (score, values)
+        if best is None:
+            return self._random_unseen()
+        return {
+            name: value
+            for (name, _), value in zip(PARAM_SPACE, best[1])
+        }
+
+    def _densities(
+        self, keys: Sequence[Tuple[Any, ...]]
+    ) -> List[List[float]]:
+        """Per-dimension smoothed categorical weights (+1 prior)."""
+        weights: List[List[float]] = []
+        for dim, (_, choices) in enumerate(PARAM_SPACE):
+            counts = [1.0] * len(choices)
+            for key in keys:
+                counts[choices.index(key[dim])] += 1.0
+            total = sum(counts)
+            weights.append([c / total for c in counts])
+        return weights

@@ -250,6 +250,36 @@ class TestBenchCommand:
         assert "overhead ratio" in capsys.readouterr().out
         assert main(["bench", "--max-overhead", "1.05"]) == 0
 
+    def test_bench_search_writes_report_and_self_compares(
+        self, tmp_path, capsys
+    ):
+        argv = ["bench", "search", "--budget", "smoke",
+                "--out-dir", str(tmp_path)]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "best strategy" in out
+        doc = json.loads((tmp_path / "BENCH_search.json").read_text())
+        assert doc["kind"] == "search"
+        assert set(doc["strategies"]) == {
+            "anneal", "bottleneck", "evolutionary", "tpe",
+        }
+        # Determinism: a rerun compared against itself is clean.
+        rerun = [
+            "bench", "search", "--budget", "smoke",
+            "--out-dir", str(tmp_path / "rerun"),
+            "--compare", str(tmp_path / "BENCH_search.json"),
+        ]
+        assert main(rerun) == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_search_baseline_against_core_bench_exits_2(
+        self, fake_run, tmp_path, capsys
+    ):
+        baseline = tmp_path / "base.json"
+        baseline.write_text(json.dumps({"schema": 1, "kind": "search"}))
+        assert main(["bench", "--compare", str(baseline)]) == 2
+        assert "bench search" in capsys.readouterr().err
+
 
 class TestDseCommand:
     def test_dse_defaults(self):
@@ -294,6 +324,91 @@ class TestDseCommand:
         assert "cache disabled" in capsys.readouterr().out
 
 
+class TestSearchCli:
+    """The ``dse --strategy`` search path and the ``study`` command."""
+
+    def test_list_strategies(self, capsys):
+        assert main(["dse", "--list-strategies"]) == 0
+        out = capsys.readouterr().out.split()
+        assert out == ["anneal", "bottleneck", "evolutionary", "tpe"]
+
+    def test_search_run_writes_study_pareto_and_html(self, tmp_path, capsys):
+        store = tmp_path / "store"
+        argv = [
+            "dse", "vecmax", "--strategy", "tpe",
+            "--trials", "4", "--batch", "2", "-n", "6", "-s", "3",
+            "--cache-dir", str(store),
+            "-o", str(tmp_path / "d.json"),
+            "--pareto", str(tmp_path / "front.json"),
+            "--html", str(tmp_path / "report.html"),
+        ]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "search[tpe]" in out and "best trial" in out
+        front = json.loads((tmp_path / "front.json").read_text())
+        assert front["points"] and "hypervolume" in front
+        assert "<svg" in (tmp_path / "report.html").read_text()
+        assert (tmp_path / "d.json").exists()
+
+        # study list / show / export against the populated store.
+        assert main(["study", "list", "--study-dir", str(store)]) == 0
+        listing = capsys.readouterr().out
+        assert "tpe" in listing
+        key_prefix = listing.split()[0]
+
+        assert main(
+            ["study", "show", key_prefix, "--study-dir", str(store)]
+        ) == 0
+        shown = capsys.readouterr().out
+        assert "frontier" in shown and "best trial" in shown
+
+        export_path = tmp_path / "study.json"
+        assert main(
+            ["study", "export", key_prefix, "--study-dir", str(store),
+             "-o", str(export_path)]
+        ) == 0
+        capsys.readouterr()
+        doc = json.loads(export_path.read_text())
+        assert doc["strategy"] == "tpe" and len(doc["trials"]) == 4
+
+    def test_study_merge_and_import(self, tmp_path, capsys):
+        store = tmp_path / "store"
+        base = [
+            "--trials", "3", "--batch", "3", "-n", "5",
+            "--cache-dir", str(store), "-o", str(tmp_path / "d.json"),
+        ]
+        assert main(["dse", "vecmax", "--strategy", "tpe", "-s", "1"] + base) == 0
+        assert main(["dse", "vecmax", "--strategy", "tpe", "-s", "2"] + base) == 0
+        capsys.readouterr()
+        assert main(["study", "list", "--study-dir", str(store)]) == 0
+        keys = [
+            line.split()[0]
+            for line in capsys.readouterr().out.strip().splitlines()
+        ]
+        assert len(keys) == 2
+        assert main(["study", "merge", *keys, "--study-dir", str(store)]) == 0
+        assert "merged 2 studies" in capsys.readouterr().out
+
+        # Import dse_point metrics from an engine run as a study.
+        metrics = tmp_path / "events.jsonl"
+        assert main([
+            "dse", "vecmax", "-n", "6", "-s", "3", "--no-cache",
+            "-o", str(tmp_path / "d2.json"), "--metrics", str(metrics),
+        ]) == 0
+        capsys.readouterr()
+        assert main(
+            ["study", "import", str(metrics), "--study-dir", str(store)]
+        ) == 0
+        assert "imported" in capsys.readouterr().out
+
+    def test_study_ambiguous_or_missing_key_is_2(self, tmp_path, capsys):
+        store = tmp_path / "store"
+        assert main(["study", "show", "feed", "--study-dir", str(store)]) == 2
+        assert "no study matching" in capsys.readouterr().err
+        assert main(["study", "show", "--study-dir", str(store)]) == 2
+        assert "at least one" in capsys.readouterr().err
+
+
 class TestExitCodes:
     """The CLI exit-code contract: 0 ok, 1 domain failure, 2 user error.
 
@@ -305,6 +420,18 @@ class TestExitCodes:
     def test_user_error_is_2(self, capsys):
         assert main(["map", "/no/such/design.json", "vecmax"]) == 2
         assert "error:" in capsys.readouterr().err
+
+    def test_unknown_strategy_is_2_and_lists_available(self, capsys):
+        assert main(["dse", "vecmax", "--strategy", "nope"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown strategy" in err
+        for name in ("anneal", "bottleneck", "evolutionary", "tpe"):
+            assert name in err
+
+    def test_dse_without_workloads_is_2(self, capsys):
+        assert main(["dse"]) == 2
+        err = capsys.readouterr().err
+        assert "missing workloads" in err and "--list-strategies" in err
 
     def test_fuzz_clean_default_bands_is_0(self, capsys):
         assert main(["fuzz", "--budget", "5", "--seed", "0"]) == 0
