@@ -538,7 +538,11 @@ def _cmd_map(args: argparse.Namespace) -> int:
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
     if args.json:
+        if "," in args.workload:
+            raise CliError("--json takes a single workload, not a list")
         return _single_shot_json("simulate", args.design, args.workload)
+    if "," in args.workload:
+        return _simulate_many(args.design, args.workload)
     sysadg, schedule = _map_workload(args.design, args.workload)
     if schedule is None:
         print(f"{args.workload} does NOT map onto {sysadg.name}")
@@ -551,6 +555,33 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         f"{result.tiles_used} tiles used"
     )
     return 0
+
+
+def _simulate_many(design: str, workloads: str) -> int:
+    """``repro simulate <design> w1,w2,...`` — one batched stepping pass."""
+    from .serve import simulate_batch_op
+    from .serve.errors import BadRequestError
+
+    sysadg = _load_design(design)
+    names = [n.strip() for n in workloads.split(",") if n.strip()]
+    if not names:
+        raise CliError("empty workload list")
+    try:
+        docs = simulate_batch_op(sysadg, names)
+    except BadRequestError as exc:
+        raise CliError(str(exc)) from exc
+    unmapped = 0
+    for name, doc in zip(names, docs):
+        if doc is None:
+            print(f"{name} does NOT map onto {sysadg.name}")
+            unmapped += 1
+            continue
+        print(
+            f"{name} on {sysadg.name}: {doc['cycles']:,.0f} cycles "
+            f"({doc['seconds'] * 1e6:,.1f} us), IPC {doc['ipc']:.1f}, "
+            f"{doc['tiles_used']} tiles used"
+        )
+    return 1 if unmapped else 0
 
 
 def _cmd_rtl(args: argparse.Namespace) -> int:
@@ -631,6 +662,8 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     metrics = MetricsLogger(args.metrics) if args.metrics else None
     if args.what == "search":
         return _bench_search(args, baseline, metrics)
+    if args.what == "sim":
+        return _bench_sim(args, baseline, metrics)
     if baseline is not None and baseline.get("kind") == "search":
         raise CliError(
             f"{args.compare} is a search baseline; run `repro bench search`"
@@ -675,10 +708,18 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         )
         rc = 1
     if baseline is not None:
+        tolerance = _compare_tolerance(args)
         current_doc = report.dse if baseline["kind"] == "dse" else report.sim
-        cmp = compare_reports(current_doc, baseline, tolerance=args.tolerance)
-        rc = max(rc, _print_compare(cmp, args.compare, args.tolerance))
+        cmp = compare_reports(current_doc, baseline, tolerance=tolerance)
+        rc = max(rc, _print_compare(cmp, args.compare, tolerance))
     return rc
+
+
+def _compare_tolerance(args: argparse.Namespace) -> float:
+    """--max-regression (the explicit CI gate) overrides --tolerance."""
+    if getattr(args, "max_regression", None) is not None:
+        return args.max_regression
+    return args.tolerance
 
 
 def _print_compare(cmp, compare_path: str, tolerance: float) -> int:
@@ -732,8 +773,45 @@ def _bench_search(args: argparse.Namespace, baseline, metrics) -> int:
         print(f"wrote Chrome trace to {args.trace}")
     rc = 0
     if baseline is not None:
-        cmp = compare_reports(doc, baseline, tolerance=args.tolerance)
-        rc = _print_compare(cmp, args.compare, args.tolerance)
+        tolerance = _compare_tolerance(args)
+        cmp = compare_reports(doc, baseline, tolerance=tolerance)
+        rc = _print_compare(cmp, args.compare, tolerance)
+    return rc
+
+
+def _bench_sim(args: argparse.Namespace, baseline, metrics) -> int:
+    """The ``repro bench sim`` sim-only benchmark + perf gate."""
+    from .profile.bench import BUDGETS, compare_reports, run_bench_sim
+
+    if baseline is not None and baseline.get("kind") != "sim":
+        raise CliError(
+            f"{args.compare}: kind {baseline.get('kind')!r} baseline does "
+            "not apply to `bench sim`"
+        )
+    budget = BUDGETS[args.budget]
+    doc, path = run_bench_sim(
+        budget, seed=args.seed, out_dir=args.out_dir, metrics=metrics
+    )
+    batch = doc["batch"]
+    print(
+        f"sim[{budget.name}] core={doc['core']}: {doc['stepped_cycles']:,} "
+        f"cycles in {doc['wall_seconds']:.2f}s "
+        f"({doc['cycles_per_second']:,.0f} cycles/s)"
+    )
+    print(
+        f"  batch: {batch['pairs']} regions, "
+        f"{doc['batch_cycles_per_second']:,.0f} cycles/s, "
+        f"identical to serial: {batch['identical_to_serial']}"
+    )
+    print(f"wrote {path}")
+    rc = 0
+    if not batch["identical_to_serial"]:
+        print("FAIL: batched results diverged from serial simulation")
+        rc = 1
+    if baseline is not None:
+        tolerance = _compare_tolerance(args)
+        cmp = compare_reports(doc, baseline, tolerance=tolerance)
+        rc = max(rc, _print_compare(cmp, args.compare, tolerance))
     return rc
 
 
@@ -1119,7 +1197,11 @@ def build_parser() -> argparse.ArgumentParser:
 
     sim = sub.add_parser("simulate", help="simulate a workload on a design")
     sim.add_argument("design")
-    sim.add_argument("workload")
+    sim.add_argument(
+        "workload",
+        help="workload name, or a comma-separated list for one batched "
+             "stepping pass (list form is plain output only, not --json)",
+    )
     sim.add_argument(
         "--json", action="store_true",
         help="print the canonical result document (the byte-identity "
@@ -1186,9 +1268,10 @@ def build_parser() -> argparse.ArgumentParser:
         help="fixed-seed DSE + simulation benchmarks with span tracing",
     )
     bench.add_argument(
-        "what", nargs="?", choices=("core", "search"), default="core",
+        "what", nargs="?", choices=("core", "search", "sim"), default="core",
         help="core: DSE+simulation benchmarks (default); search: the "
-             "strategy shootout (writes BENCH_search.json)",
+             "strategy shootout (writes BENCH_search.json); sim: the "
+             "simulation benchmark only (writes BENCH_sim.json)",
     )
     bench.add_argument(
         "--budget", choices=("smoke", "small", "full"), default="small",
@@ -1218,6 +1301,11 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument(
         "--max-overhead", type=float, default=None,
         help="fail if disabled-tracer/no-tracer span ratio exceeds this",
+    )
+    bench.add_argument(
+        "--max-regression", type=float, default=None,
+        help="override --tolerance for the --compare check (CI perf "
+             "gates: a named, explicit regression budget)",
     )
     bench.set_defaults(func=_cmd_bench)
 

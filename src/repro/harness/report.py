@@ -220,6 +220,25 @@ def _fig20_section() -> str:
             f"({bench['fast_path_speedup']:.1f}x faster), "
             f"{bench['candidates_per_second']:.0f} candidates/s overall."
         )
+    sim = _bench_sim_doc()
+    if sim is not None:
+        lines.append("")
+        line = (
+            f"Simulator throughput (`repro bench sim --budget "
+            f"{sim['budget']}`, seed {sim['seed']}, "
+            f"{sim.get('core', 'object')} core): "
+            f"{sim['stepped_cycles']:,} stepped cycles over "
+            f"{len(sim.get('workloads', []))} regions at "
+            f"{sim['cycles_per_second']:,.0f} cycles/s"
+        )
+        batch = sim.get("batch")
+        if batch:
+            line += (
+                f"; one `simulate_batch` pass covers the same regions at "
+                f"{sim['batch_cycles_per_second']:,.0f} cycles/s with "
+                f"results byte-identical to the serial loop"
+            )
+        lines.append(line + ".")
     return "\n".join(lines)
 
 
@@ -290,6 +309,22 @@ def _bench_dse_doc():
     except (OSError, json.JSONDecodeError):
         return None
     if doc.get("kind") != "dse" or doc.get("schema") != 1:
+        return None
+    return doc
+
+
+def _bench_sim_doc():
+    """BENCH_sim.json from a `repro bench` run at the repo root, if any."""
+    import json
+    import os
+
+    path = os.path.join(os.getcwd(), "BENCH_sim.json")
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError):
+        return None
+    if doc.get("kind") != "sim" or doc.get("schema") != 1:
         return None
     return doc
 

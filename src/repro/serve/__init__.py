@@ -36,6 +36,7 @@ from .ops import (
     overlay_fingerprint,
     result_key,
     run_op,
+    simulate_batch_op,
     simulate_op,
     single_shot,
 )
@@ -97,6 +98,7 @@ __all__ = [
     "run_load",
     "run_op",
     "serve_until_shutdown",
+    "simulate_batch_op",
     "simulate_op",
     "single_shot",
     "wait_for_server",

@@ -17,7 +17,7 @@ are rendered with :func:`~repro.serve.protocol.canonical_dumps`, so
 
 from __future__ import annotations
 
-from typing import Any, Dict, Optional
+from typing import Any, Dict, List, Optional, Sequence
 
 from ..adg import SysADG, sysadg_from_dict, sysadg_to_dict
 from ..compiler import generate_variants
@@ -27,7 +27,7 @@ from ..engine.hashing import (
     workload_fingerprint,
 )
 from ..scheduler import schedule_workload
-from ..sim import simulate_schedule
+from ..sim import simulate_batch, simulate_schedule
 from ..workloads import get_workload
 from .errors import BadRequestError, UnmappableError
 from .protocol import COMPUTE_OPS, PROTOCOL_VERSION
@@ -116,10 +116,9 @@ def estimate_op(sysadg: SysADG, workload_name: str) -> Dict[str, Any]:
     }
 
 
-def simulate_op(sysadg: SysADG, workload_name: str) -> Dict[str, Any]:
-    """Full cycle-level simulation of the scheduled workload."""
-    schedule = _schedule(sysadg, workload_name)
-    result = simulate_schedule(schedule, sysadg)
+def _simulate_doc(
+    sysadg: SysADG, workload_name: str, result
+) -> Dict[str, Any]:
     return {
         "op": "simulate",
         "overlay": sysadg.name,
@@ -133,6 +132,41 @@ def simulate_op(sysadg: SysADG, workload_name: str) -> Dict[str, Any]:
         "extrapolated": result.extrapolated,
         "fabric_stalls": result.fabric_stalls,
     }
+
+
+def simulate_op(sysadg: SysADG, workload_name: str) -> Dict[str, Any]:
+    """Full cycle-level simulation of the scheduled workload."""
+    schedule = _schedule(sysadg, workload_name)
+    result = simulate_schedule(schedule, sysadg)
+    return _simulate_doc(sysadg, workload_name, result)
+
+
+def simulate_batch_op(
+    sysadg: SysADG, workload_names: Sequence[str]
+) -> List[Optional[Dict[str, Any]]]:
+    """Batched :func:`simulate_op`: one stepping pass over many workloads.
+
+    Returns one document per input name (field-identical to the doc
+    :func:`simulate_op` would serve for that name) in input order, with
+    ``None`` for workloads that do not map onto the overlay.  Shares the
+    compiled stepping kernel warm-up and content-key dedupe of
+    :func:`repro.sim.simulate_batch`.
+    """
+    schedules: List[Optional[Any]] = []
+    for name in workload_names:
+        try:
+            schedules.append(_schedule(sysadg, name))
+        except UnmappableError:
+            schedules.append(None)
+    items = [(s, sysadg) for s in schedules if s is not None]
+    stepped = iter(simulate_batch(items))
+    docs: List[Optional[Dict[str, Any]]] = []
+    for name, schedule in zip(workload_names, schedules):
+        if schedule is None:
+            docs.append(None)
+        else:
+            docs.append(_simulate_doc(sysadg, name, next(stepped)))
+    return docs
 
 
 _OPS = {"map": map_op, "estimate": estimate_op, "simulate": simulate_op}

@@ -15,11 +15,13 @@ from .dispatcher import (
     StreamCommand,
     StreamDispatcher,
 )
+from .batch import simulate_batch, simulate_workloads_jobs
 from .multiplex import (
     MultiplexResult,
     reconfiguration_cycles,
     run_sequence,
 )
+from .vector import vector_core_available
 from .simulator import (
     DISPATCH_LATENCY,
     SimResult,
@@ -49,5 +51,8 @@ __all__ = [
     "StreamState",
     "build_tile",
     "critical_path_depth",
+    "simulate_batch",
     "simulate_schedule",
+    "simulate_workloads_jobs",
+    "vector_core_available",
 ]

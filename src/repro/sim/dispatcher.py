@@ -16,6 +16,14 @@ Each stream's lifetime:
 
 Performance contract (paper): one dispatch per cycle; N completions per
 cycle; minimum RoCC-to-dispatch latency of 2 cycles.
+
+Unlike the tile stepper (see :mod:`repro.sim.ckernel`), this model is
+already event-form — it jumps straight between config/instantiate/
+dispatch events instead of ticking cycles — which is the same invariant
+the vectorized core's skip-ahead enforces: a cycle with no state change
+is never materialized.  The two models meet in the steady state: the
+dispatcher prices getting a stream *into* an engine, the tile stepper
+prices the stream once it is resident.
 """
 
 from __future__ import annotations
@@ -136,6 +144,13 @@ class StreamDispatcher:
             (self._busy_until[k] for k in keys), default=self._now
         )
         self._now = max(self._now, wait_until)
+        # Prune drained scoreboard entries: a resource free at or before
+        # ``now`` can never raise a future ready time (dispatch readiness
+        # is already >= now + 2), so dropping it is semantics-preserving
+        # and keeps scans O(live resources) on long command sequences.
+        self._busy_until = {
+            k: v for k, v in self._busy_until.items() if v > self._now
+        }
         return self._now
 
     # ------------------------------------------------------------------

@@ -1,0 +1,394 @@
+"""Array-form state packing for the vectorized simulator core.
+
+The object model in :mod:`repro.sim.components` stays the reference
+implementation; this module packs one built tile (engines, fabric,
+pools) into numpy struct-of-arrays grouped per component class —
+streams, port FIFOs, engines, bandwidth pools, and the fabric pipeline
+as a fixed ring buffer — and steps the whole region in one call to the
+compiled kernel (:mod:`repro.sim.ckernel`).  After the run the packed
+state is written back into the original objects, so result assembly
+and all introspection (engine busy counters, pool bytes, FIFO levels,
+pipeline contents) are identical between cores.
+
+State layout (documented in DESIGN.md's sim-core row):
+
+* streams: parallel float64/int64 arrays, flattened engine-by-engine in
+  the driver's step order; per-stream FIFO and forward-FIFO indices.
+* FIFOs: capacity/level arrays; every FIFO referenced by any stream or
+  fabric port gets one slot (identity-deduplicated).
+* engines: ``[start, end)`` stream ranges plus bandwidth, bypass flag,
+  round-robin pointer, last-issued stream index (-1 = None).
+* pools: fixed slots 0 = l2, 1 = dram (the only shape ``build_tile``
+  produces; anything else falls back to the object core).
+* pipeline: (due, count) ring buffer of at most depth+1 live entries.
+
+The kernel is an exact transliteration of the object stepping order, so
+all synced-back floats are bit-identical to an object-core run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import ctypes
+
+import numpy as np
+
+from .ckernel import (
+    STATUS_DEADLOCK,
+    STATUS_DONE,
+    STATUS_HARD_CAP,
+    STATUS_STUCK,
+    TileStateStruct,
+    load_kernel,
+)
+from .components import BandwidthPool, EngineSim, FabricSim, StreamState
+
+__all__ = [
+    "TilePack",
+    "VectorOutcome",
+    "pack_tile",
+    "run_packed_region",
+    "vector_core_available",
+]
+
+
+def vector_core_available() -> bool:
+    """True when the compiled stepping kernel can be built and loaded."""
+    return load_kernel() is not None
+
+
+@dataclass
+class TilePack:
+    """One tile's simulation state as numpy struct-of-arrays."""
+
+    engines: List[EngineSim]
+    fabric: FabricSim
+    pools: List[BandwidthPool]
+    streams: List[StreamState]
+    fifos: List[object]  # PortFifo, identity-ordered
+    arrays: Dict[str, np.ndarray]
+    scratch: np.ndarray  # candidate-index scratch for the kernel
+
+
+@dataclass
+class VectorOutcome:
+    """Driver-loop outcome of one kernel region run."""
+
+    status: int
+    now: int
+    window_firings: float
+    window_cycle: int
+    done: bool
+    hard_capped: bool
+    deadlocked: bool
+    stuck: bool
+
+
+def pack_tile(
+    engines: Sequence[EngineSim],
+    fabric: FabricSim,
+    pools: Sequence[BandwidthPool],
+) -> Optional[TilePack]:
+    """Pack a freshly built tile into arrays; None if the shape is
+    outside what the kernel models (caller falls back to objects)."""
+    pools = list(pools)
+    for engine in engines:
+        if not engine.pools:
+            continue
+        # The kernel hard-codes pool slots (0=l2, 1=dram) in build_tile's
+        # engine order; any other pool wiring is not representable.
+        if len(pools) != 2 or len(engine.pools) != 2:
+            return None
+        if engine.pools[0] is not pools[0] or engine.pools[1] is not pools[1]:
+            return None
+
+    fifo_ids: Dict[int, int] = {}
+    fifos: List[object] = []
+
+    def fifo_index(fifo) -> int:
+        key = id(fifo)
+        if key not in fifo_ids:
+            fifo_ids[key] = len(fifos)
+            fifos.append(fifo)
+        return fifo_ids[key]
+
+    streams: List[StreamState] = []
+    e_start: List[int] = []
+    e_end: List[int] = []
+    for engine in engines:
+        e_start.append(len(streams))
+        streams.extend(engine.streams)
+        e_end.append(len(streams))
+
+    n_s = len(streams)
+    arr: Dict[str, np.ndarray] = {
+        "s_total": np.empty(n_s, dtype=np.float64),
+        "s_cap": np.empty(n_s, dtype=np.float64),
+        "s_eb": np.empty(n_s, dtype=np.float64),
+        "s_l2f": np.empty(n_s, dtype=np.float64),
+        "s_dramf": np.empty(n_s, dtype=np.float64),
+        "s_moved": np.empty(n_s, dtype=np.float64),
+        "s_done_tol": np.empty(n_s, dtype=np.float64),
+        "s_disp": np.empty(n_s, dtype=np.int64),
+        "s_is_read": np.empty(n_s, dtype=np.int64),
+        "s_fifo": np.empty(n_s, dtype=np.int64),
+        "s_fwd": np.empty(n_s, dtype=np.int64),
+    }
+    for i, s in enumerate(streams):
+        arr["s_total"][i] = s.total_elements
+        arr["s_cap"][i] = s.elements_per_cycle_cap
+        arr["s_eb"][i] = s.element_bytes
+        arr["s_l2f"][i] = s.l2_fraction
+        arr["s_dramf"][i] = s.dram_fraction
+        arr["s_moved"][i] = s.moved
+        # Same product the done property computes every call.
+        arr["s_done_tol"][i] = 1e-6 * max(1.0, s.total_elements)
+        arr["s_disp"][i] = s.dispatched_at
+        arr["s_is_read"][i] = 1 if s.is_read else 0
+        arr["s_fifo"][i] = fifo_index(s.port)
+        forward = getattr(s, "forward_to", None)
+        arr["s_fwd"][i] = -1 if forward is None else fifo_index(forward)
+
+    for fifo, _rate in fabric.config.inputs:
+        fifo_index(fifo)
+    for fifo, _rate in fabric.config.outputs:
+        fifo_index(fifo)
+
+    n_f = len(fifos)
+    arr["f_cap"] = np.array([f.capacity for f in fifos], dtype=np.float64)
+    arr["f_level"] = np.array([f.level for f in fifos], dtype=np.float64)
+    if n_f == 0:  # keep pointers valid for the kernel
+        arr["f_cap"] = np.zeros(1, dtype=np.float64)
+        arr["f_level"] = np.zeros(1, dtype=np.float64)
+
+    n_e = len(engines)
+    arr["e_start"] = np.array(e_start, dtype=np.int64)
+    arr["e_end"] = np.array(e_end, dtype=np.int64)
+    arr["e_bw"] = np.array(
+        [e.bandwidth_bytes for e in engines], dtype=np.float64
+    )
+    arr["e_onehot"] = np.array(
+        [1 if e.onehot_bypass else 0 for e in engines], dtype=np.int64
+    )
+    arr["e_has_pools"] = np.array(
+        [1 if e.pools else 0 for e in engines], dtype=np.int64
+    )
+    arr["e_rr"] = np.array([e._rr for e in engines], dtype=np.int64)
+    last: List[int] = []
+    for ei, engine in enumerate(engines):
+        if engine._last_issued is None:
+            last.append(-1)
+            continue
+        idx = next(
+            (
+                k
+                for k, s in enumerate(engine.streams)
+                if s is engine._last_issued
+            ),
+            None,
+        )
+        if idx is None:
+            return None
+        last.append(e_start[ei] + idx)
+    arr["e_last"] = np.array(last, dtype=np.int64)
+    arr["e_issued"] = np.array(
+        [e.issued_cycles for e in engines], dtype=np.int64
+    )
+    arr["e_busy"] = np.array(
+        [e.busy_cycles for e in engines], dtype=np.int64
+    )
+
+    arr["p_rate"] = np.array(
+        [p.bytes_per_cycle for p in pools], dtype=np.float64
+    )
+    arr["p_avail"] = np.array([p.available for p in pools], dtype=np.float64)
+    arr["p_consumed"] = np.array(
+        [p.consumed_total for p in pools], dtype=np.float64
+    )
+    if not pools:
+        arr["p_rate"] = np.zeros(1, dtype=np.float64)
+        arr["p_avail"] = np.zeros(1, dtype=np.float64)
+        arr["p_consumed"] = np.zeros(1, dtype=np.float64)
+
+    cfg = fabric.config
+    arr["in_fifo"] = np.array(
+        [fifo_index(f) for f, _r in cfg.inputs] or [0], dtype=np.int64
+    )
+    arr["in_rate"] = np.array(
+        [r for _f, r in cfg.inputs] or [0.0], dtype=np.float64
+    )
+    arr["out_fifo"] = np.array(
+        [fifo_index(f) for f, _r in cfg.outputs] or [0], dtype=np.int64
+    )
+    arr["out_rate"] = np.array(
+        [r for _f, r in cfg.outputs] or [0.0], dtype=np.float64
+    )
+
+    pipe_cap = int(cfg.pipeline_depth) + 8
+    arr["pipe_due"] = np.zeros(pipe_cap, dtype=np.int64)
+    arr["pipe_count"] = np.zeros(pipe_cap, dtype=np.float64)
+    for i, (due, count) in enumerate(fabric._pipeline):
+        arr["pipe_due"][i] = due
+        arr["pipe_count"][i] = count
+    arr["pipe_head"] = np.zeros(1, dtype=np.int64)
+    arr["pipe_len"] = np.array([len(fabric._pipeline)], dtype=np.int64)
+
+    arr["fab_firings"] = np.array([fabric.firings], dtype=np.float64)
+    arr["fab_stalls"] = np.array([fabric.stall_cycles], dtype=np.int64)
+
+    arr["now"] = np.zeros(1, dtype=np.int64)
+    arr["last_progress"] = np.zeros(1, dtype=np.int64)
+    arr["last_firings"] = np.array([-1.0], dtype=np.float64)
+    arr["window_firings"] = np.zeros(1, dtype=np.float64)
+    arr["window_cycle"] = np.zeros(1, dtype=np.int64)
+
+    scratch = np.zeros(max(1, n_s), dtype=np.int64)
+    assert n_e == len(e_start) and n_f == len(fifos)
+    return TilePack(
+        engines=list(engines),
+        fabric=fabric,
+        pools=pools,
+        streams=streams,
+        fifos=fifos,
+        arrays=arr,
+        scratch=scratch,
+    )
+
+
+def _dptr(a: np.ndarray):
+    return a.ctypes.data_as(ctypes.POINTER(ctypes.c_double))
+
+
+def _iptr(a: np.ndarray):
+    return a.ctypes.data_as(ctypes.POINTER(ctypes.c_int64))
+
+
+def _build_struct(
+    pack: TilePack, exact: bool, hard_cap: int, measure_window: int
+) -> TileStateStruct:
+    a = pack.arrays
+    cfg = pack.fabric.config
+    total = cfg.total_firings
+    st = TileStateStruct()
+    st.n_streams = len(pack.streams)
+    st.s_total = _dptr(a["s_total"])
+    st.s_cap = _dptr(a["s_cap"])
+    st.s_eb = _dptr(a["s_eb"])
+    st.s_l2f = _dptr(a["s_l2f"])
+    st.s_dramf = _dptr(a["s_dramf"])
+    st.s_moved = _dptr(a["s_moved"])
+    st.s_done_tol = _dptr(a["s_done_tol"])
+    st.s_disp = _iptr(a["s_disp"])
+    st.s_is_read = _iptr(a["s_is_read"])
+    st.s_fifo = _iptr(a["s_fifo"])
+    st.s_fwd = _iptr(a["s_fwd"])
+    st.n_fifos = len(pack.fifos)
+    st.f_cap = _dptr(a["f_cap"])
+    st.f_level = _dptr(a["f_level"])
+    st.n_engines = len(pack.engines)
+    st.e_start = _iptr(a["e_start"])
+    st.e_end = _iptr(a["e_end"])
+    st.e_bw = _dptr(a["e_bw"])
+    st.e_onehot = _iptr(a["e_onehot"])
+    st.e_has_pools = _iptr(a["e_has_pools"])
+    st.e_rr = _iptr(a["e_rr"])
+    st.e_last = _iptr(a["e_last"])
+    st.e_issued = _iptr(a["e_issued"])
+    st.e_busy = _iptr(a["e_busy"])
+    st.n_pools = len(pack.pools)
+    st.p_rate = _dptr(a["p_rate"])
+    st.p_avail = _dptr(a["p_avail"])
+    st.p_consumed = _dptr(a["p_consumed"])
+    st.n_in = len(cfg.inputs)
+    st.in_fifo = _iptr(a["in_fifo"])
+    st.in_rate = _dptr(a["in_rate"])
+    st.n_out = len(cfg.outputs)
+    st.out_fifo = _iptr(a["out_fifo"])
+    st.out_rate = _dptr(a["out_rate"])
+    st.fab_total = total
+    # Same product FabricSim.remaining computes every call.
+    st.fab_done_tol = 1e-6 * max(1.0, total)
+    st.fab_depth = int(cfg.pipeline_depth)
+    st.fab_firings = _dptr(a["fab_firings"])
+    st.fab_stalls = _iptr(a["fab_stalls"])
+    st.pipe_cap = len(a["pipe_due"])
+    st.pipe_due = _iptr(a["pipe_due"])
+    st.pipe_count = _dptr(a["pipe_count"])
+    st.pipe_head = _iptr(a["pipe_head"])
+    st.pipe_len = _iptr(a["pipe_len"])
+    st.exact = 1 if exact else 0
+    st.hard_cap = hard_cap
+    st.measure_window = measure_window
+    st.now = _iptr(a["now"])
+    st.last_progress = _iptr(a["last_progress"])
+    st.last_firings = _dptr(a["last_firings"])
+    st.window_firings = _dptr(a["window_firings"])
+    st.window_cycle = _iptr(a["window_cycle"])
+    return st
+
+
+def _sync_back(pack: TilePack) -> None:
+    """Write the packed state back into the component objects."""
+    a = pack.arrays
+    for i, stream in enumerate(pack.streams):
+        stream.moved = float(a["s_moved"][i])
+    for i, fifo in enumerate(pack.fifos):
+        fifo.level = float(a["f_level"][i])
+    for i, engine in enumerate(pack.engines):
+        engine._rr = int(a["e_rr"][i])
+        last = int(a["e_last"][i])
+        engine._last_issued = None if last < 0 else pack.streams[last]
+        engine.issued_cycles = int(a["e_issued"][i])
+        engine.busy_cycles = int(a["e_busy"][i])
+    for i, pool in enumerate(pack.pools):
+        pool.available = float(a["p_avail"][i])
+        pool.consumed_total = float(a["p_consumed"][i])
+    fabric = pack.fabric
+    fabric.firings = float(a["fab_firings"][0])
+    fabric.stall_cycles = int(a["fab_stalls"][0])
+    head = int(a["pipe_head"][0])
+    length = int(a["pipe_len"][0])
+    cap = len(a["pipe_due"])
+    fabric._pipeline = [
+        (
+            int(a["pipe_due"][(head + k) % cap]),
+            float(a["pipe_count"][(head + k) % cap]),
+        )
+        for k in range(length)
+    ]
+
+
+def run_packed_region(
+    pack: TilePack,
+    exact: bool,
+    hard_cap: int,
+    measure_window: int,
+) -> Optional[VectorOutcome]:
+    """Step one packed tile to completion in the compiled kernel.
+
+    Returns ``None`` when the kernel is unavailable.  On return the
+    component objects hold the same state an object-core run would
+    have left (bit-identical floats), and the outcome carries the
+    driver-loop fields the caller needs for extrapolation/raising.
+    """
+    kernel = load_kernel()
+    if kernel is None:
+        return None
+    st = _build_struct(pack, exact, hard_cap, measure_window)
+    status = int(
+        kernel.step_region(ctypes.byref(st), _iptr(pack.scratch))
+    )
+    _sync_back(pack)
+    a = pack.arrays
+    return VectorOutcome(
+        status=status,
+        now=int(a["now"][0]),
+        window_firings=float(a["window_firings"][0]),
+        window_cycle=int(a["window_cycle"][0]),
+        done=status == STATUS_DONE,
+        hard_capped=status == STATUS_HARD_CAP,
+        deadlocked=status == STATUS_DEADLOCK,
+        stuck=status == STATUS_STUCK,
+    )

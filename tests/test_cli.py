@@ -66,6 +66,17 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "cycles" in out and "IPC" in out
 
+    def test_simulate_batch_list(self, design_path, capsys):
+        assert main(["simulate", design_path, "vecmax,vecmax"]) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert len(lines) == 2
+        assert lines[0] == lines[1]  # duplicate answered identically
+
+    def test_simulate_batch_rejects_json(self, design_path, capsys):
+        rc = main(["simulate", design_path, "vecmax,fir", "--json"])
+        assert rc == 2
+        assert "single workload" in capsys.readouterr().err
+
     def test_rtl_to_file(self, design_path, tmp_path, capsys):
         out_path = tmp_path / "design.v"
         assert main(["rtl", design_path, "-o", str(out_path)]) == 0
@@ -279,6 +290,40 @@ class TestBenchCommand:
         baseline.write_text(json.dumps({"schema": 1, "kind": "search"}))
         assert main(["bench", "--compare", str(baseline)]) == 2
         assert "bench search" in capsys.readouterr().err
+
+    def test_bench_sim_parser_defaults(self):
+        args = build_parser().parse_args(["bench", "sim"])
+        assert args.what == "sim"
+        assert args.max_regression is None
+
+    def test_bench_sim_writes_report_and_self_compares(
+        self, tmp_path, capsys
+    ):
+        argv = ["bench", "sim", "--budget", "smoke",
+                "--out-dir", str(tmp_path)]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "identical to serial: True" in out
+        doc = json.loads((tmp_path / "BENCH_sim.json").read_text())
+        assert doc["kind"] == "sim"
+        assert doc["batch"]["identical_to_serial"] is True
+        assert doc["batch_cycles_per_second"] > 0
+        # Self-compare with the CI gate flag: clean by construction.
+        rerun = [
+            "bench", "sim", "--budget", "smoke",
+            "--out-dir", str(tmp_path / "rerun"),
+            "--compare", str(tmp_path / "BENCH_sim.json"),
+            "--max-regression", "0.9",
+        ]
+        assert main(rerun) == 0
+        assert "OK (tolerance 0.9)" in capsys.readouterr().out
+
+    def test_bench_sim_rejects_dse_baseline(self, tmp_path, capsys):
+        baseline = tmp_path / "base.json"
+        baseline.write_text(json.dumps({"schema": 1, "kind": "dse"}))
+        rc = main(["bench", "sim", "--compare", str(baseline)])
+        assert rc == 2
+        assert "bench sim" in capsys.readouterr().err
 
 
 class TestDseCommand:

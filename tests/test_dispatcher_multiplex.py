@@ -96,6 +96,32 @@ class TestDispatcher:
             )
         assert d.dispatch_rate() > 0.4  # 1 param write + dispatch per stream
 
+    def test_barrier_prunes_drained_scoreboard(self):
+        d = StreamDispatcher()
+        for i in range(50):
+            d.issue(cmd(f"s{i}", port=f"p{i % 4}", duration=5))
+            d.barrier()
+        # every resource drained at the barrier -> nothing stays resident
+        assert d._busy_until == {}
+
+    def test_pruning_preserves_semantics(self):
+        # the same command sequence with interleaved barriers must yield
+        # identical records whether or not earlier entries were pruned
+        sequence = [cmd(f"s{i}", port=f"p{i % 2}", duration=7) for i in range(6)]
+        pruned = StreamDispatcher()
+        timeline = []
+        for c in sequence[:3]:
+            timeline.append(pruned.issue(c))
+        pruned.barrier()  # prunes everything in flight
+        for c in sequence[3:]:
+            timeline.append(pruned.issue(c))
+        drained = pruned.barrier()
+        assert drained == max(r.completes for r in timeline)
+        # per-port request order survives pruning
+        for port in ("p0", "p1"):
+            ds = [r.dispatched for r, c in zip(timeline, sequence) if c.port == port]
+            assert ds == sorted(ds)
+
 
 class TestMultiplex:
     @pytest.fixture(scope="class")
