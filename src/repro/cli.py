@@ -40,7 +40,14 @@ Commands mirror the library's main flows:
   queue with admission control, single-flight coalescing, process
   worker pool, per-request deadlines, graceful drain
 * ``submit``               — client for ``serve``: one-shot requests
-  (map/estimate/simulate/ping/stats/shutdown) or a concurrent load run
+  (map/estimate/simulate/simulate_batch/remap/ping/stats/topology/
+  shutdown) or a concurrent load run, optionally topology-routed
+  (``--cluster``) and split over generator processes (``--shards``)
+* ``registry``             — versioned overlay registry on an artifact
+  store: publish / list / show / pin / unpin / rollback named overlay
+  versions that ``serve --registry`` resolves as ``name@vN`` specs
+* ``cluster``              — multi-shard serve: spawn N shard processes
+  plus the consistent-hash front-tier router as one unit
 
 Parallelism flag convention (backed by :mod:`repro.jobs`): every command
 spells the worker-process count ``-w/--workers`` — an execution detail
@@ -902,8 +909,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     from .engine import MetricsLogger
     from .serve import OverlayServer, ServeConfig, serve_until_shutdown
 
-    if not args.designs:
-        raise CliError("serve needs at least one design file")
+    if not args.designs and not args.registry:
+        raise CliError(
+            "serve needs at least one design file or --registry DIR"
+        )
     config = ServeConfig(
         socket_path=args.socket,
         host=args.host,
@@ -913,6 +922,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         default_timeout_s=args.default_timeout,
         drain_timeout_s=args.drain_timeout,
         cache_dir=args.cache_dir,
+        registry_dir=args.registry,
     )
     server = OverlayServer(config, metrics=MetricsLogger(args.metrics))
 
@@ -926,6 +936,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 f"loaded overlay {name!r} from {path} "
                 f"(fingerprint {server.overlays[name].fingerprint[:16]})"
             )
+        if args.registry:
+            print(f"registry attached: {args.registry}")
         started = asyncio.get_running_loop().create_task(
             serve_until_shutdown(server)
         )
@@ -966,6 +978,7 @@ def _cmd_submit(args: argparse.Namespace) -> int:
         ServeError,
         canonical_dumps,
         run_load,
+        run_load_sharded,
     )
 
     factory = _client_factory(args)
@@ -981,6 +994,13 @@ def _cmd_submit(args: argparse.Namespace) -> int:
         workloads = tuple(w for w in args.load_workloads.split(",") if w)
         if not workloads:
             raise CliError("--workloads must name at least one workload")
+        overlays = None
+        if args.overlays:
+            overlays = tuple(o for o in args.overlays.split(",") if o)
+        elif args.overlay:
+            overlays = (args.overlay,)
+        if args.shards < 1:
+            raise CliError("--shards must be >= 1")
 
         async def _load():
             return await run_load(
@@ -989,13 +1009,38 @@ def _cmd_submit(args: argparse.Namespace) -> int:
                 workloads=workloads,
                 requests=args.requests,
                 concurrency=args.concurrency,
-                overlay=args.overlay,
+                overlays=overlays,
                 timeout_s=args.timeout,
                 expect_errors=args.expect_errors,
+                cluster=args.cluster,
             )
 
         try:
-            report = asyncio.run(_load())
+            if args.shards > 1:
+                report = run_load_sharded(
+                    {
+                        "socket": args.socket,
+                        "host": args.host,
+                        "port": args.port,
+                    },
+                    ops=ops,
+                    workloads=workloads,
+                    requests=args.requests,
+                    concurrency=args.concurrency,
+                    load_shards=args.shards,
+                    overlays=overlays,
+                    timeout_s=args.timeout,
+                    expect_errors=args.expect_errors,
+                    cluster=args.cluster,
+                )
+
+                async def _stats():
+                    async with factory() as client:
+                        return await client.stats()
+
+                report.server_stats = asyncio.run(_stats())
+            else:
+                report = asyncio.run(_load())
         except ServeConnectionError as exc:
             raise CliError(str(exc)) from exc
         except ServeError as exc:
@@ -1039,11 +1084,134 @@ def _cmd_submit(args: argparse.Namespace) -> int:
     except ServeError as exc:
         print(f"error [{exc.code}]: {exc}", file=sys.stderr)
         return 1
-    if args.json or args.op in ("stats", "ping", "shutdown"):
+    if args.json or args.op in ("stats", "ping", "shutdown", "topology"):
         print(canonical_dumps(result))
     else:
         for key, value in sorted(result.items()):
             print(f"{key}: {value}")
+    return 0
+
+
+def _cmd_registry(args: argparse.Namespace) -> int:
+    import json
+    from pathlib import Path
+
+    from .cluster import OverlayRegistry, RegistryError, split_spec
+    from .serve import canonical_dumps
+
+    registry = OverlayRegistry(args.root)
+    try:
+        if args.registry_op == "publish":
+            design_doc = json.loads(Path(args.design).read_text())
+            entry = registry.publish(args.name, design_doc, note=args.note)
+            print(
+                f"published {entry.spec} "
+                f"(fingerprint {entry.fingerprint[:16]})"
+            )
+            return 0
+        if args.registry_op == "list":
+            rows = registry.list_doc()
+            if args.json:
+                print(canonical_dumps(rows))
+                return 0
+            if not rows:
+                print("registry is empty")
+                return 0
+            for row in rows:
+                pin_note = (
+                    f" (pinned v{row['pinned']})" if row["pinned"] else ""
+                )
+                print(
+                    f"{row['name']}: {row['versions']} versions, "
+                    f"latest v{row['latest']}{pin_note}"
+                )
+            return 0
+        if args.registry_op == "show":
+            name, _selector = split_spec(args.spec)
+            pinned = registry.pinned(name)
+            versions = registry.versions(name)
+            if not versions:
+                raise CliError(f"unknown overlay name {name!r}")
+            for entry in versions:
+                marker = " *" if pinned == entry.version else ""
+                print(
+                    f"{entry.spec}{marker}  {entry.fingerprint[:16]}  "
+                    f"{entry.note or '-'}"
+                )
+            return 0
+        if args.registry_op == "pin":
+            name, selector = split_spec(args.spec)
+            if selector is None:
+                raise CliError("pin needs an explicit name@vN spec")
+            entry = registry.pin(name, registry.lookup(args.spec).version)
+            print(f"pinned {name} -> {entry.spec}")
+            return 0
+        if args.registry_op == "unpin":
+            registry.unpin(args.name)
+            print(f"unpinned {args.name} (bare name resolves to latest)")
+            return 0
+        if args.registry_op == "rollback":
+            entry = registry.rollback(args.name, args.to_version)
+            print(f"rolled back {args.name} -> {entry.spec}")
+            return 0
+    except (RegistryError, FileNotFoundError, ValueError) as exc:
+        raise CliError(str(exc)) from exc
+    raise CliError(f"unknown registry op {args.registry_op!r}")
+
+
+def _cmd_cluster(args: argparse.Namespace) -> int:
+    import asyncio
+    from pathlib import Path
+
+    from .cluster import ClusterLauncher, LauncherConfig
+
+    if args.cluster_op != "serve":
+        raise CliError(f"unknown cluster op {args.cluster_op!r}")
+    config = LauncherConfig(
+        run_dir=args.run_dir,
+        shards=args.shards,
+        designs=[str(Path(p).resolve()) for p in args.designs],
+        registry_dir=(
+            str(Path(args.registry).resolve()) if args.registry else None
+        ),
+        cache_dir=(
+            str(Path(args.cache_dir).resolve()) if args.cache_dir else None
+        ),
+        workers=args.workers,
+        queue_limit=args.queue_limit,
+        default_timeout_s=args.default_timeout,
+        socket_path=args.socket,
+        host=args.host,
+        port=args.port,
+        health_interval_s=args.health_interval,
+        failover_retries=args.failover_retries,
+        metrics_path=args.metrics,
+    )
+    try:
+        launcher = ClusterLauncher(config)
+    except ValueError as exc:
+        raise CliError(str(exc)) from exc
+
+    async def _run() -> None:
+        backends = await asyncio.get_running_loop().run_in_executor(
+            None, launcher.spawn_shards
+        )
+        for spec in backends:
+            print(f"shard {spec.index} up on {spec.describe()}")
+        await launcher.run()
+
+    try:
+        asyncio.run(_run())
+    except RuntimeError as exc:
+        launcher.terminate()
+        raise CliError(str(exc)) from exc
+    router = launcher.router
+    if router is not None:
+        c = router.counters
+        print(
+            f"cluster drained: {c['requests']} requests routed "
+            f"({c['retries']} retries, {c['failovers']} failovers)"
+        )
     return 0
 
 
@@ -1420,7 +1588,8 @@ def build_parser() -> argparse.ArgumentParser:
              "(JSON-lines, coalescing, admission control, graceful drain)",
     )
     srv.add_argument(
-        "designs", nargs="+", help="design JSON file(s) to serve"
+        "designs", nargs="*",
+        help="design JSON file(s) to serve (may be empty with --registry)",
     )
     srv.add_argument(
         "--socket", default=None,
@@ -1456,6 +1625,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--metrics", default=None,
         help="append serve events to this JSONL file",
     )
+    srv.add_argument(
+        "--registry", default=None, metavar="DIR",
+        help="overlay registry root; serve resolves name@version specs "
+             "from it on demand",
+    )
     srv.set_defaults(func=_cmd_serve)
 
     sb = sub.add_parser(
@@ -1464,8 +1638,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sb.add_argument(
         "op",
-        choices=("map", "estimate", "simulate", "ping", "stats",
-                 "shutdown", "load"),
+        choices=("map", "estimate", "simulate", "simulate_batch", "remap",
+                 "ping", "stats", "topology", "shutdown", "load"),
     )
     sb.add_argument("workload", nargs="?", default=None)
     sb.add_argument("--socket", default=None, help="server unix socket path")
@@ -1508,7 +1682,122 @@ def build_parser() -> argparse.ArgumentParser:
         "--assert-coalescing", action="store_true",
         help="[load] fail unless compiles < requests in server stats",
     )
+    sb.add_argument(
+        "--overlays", default=None,
+        help="[load] comma list of overlay specs to mix (overrides "
+             "--overlay; registry name@vN specs work here)",
+    )
+    sb.add_argument(
+        "--cluster", action="store_true",
+        help="[load] fetch the cluster topology and route each request "
+             "directly to its owning shard (per-shard latency + balance)",
+    )
+    sb.add_argument(
+        "--shards", type=int, default=1,
+        help="[load] load-generator processes; the deterministic request "
+             "plan is split across them and reports merge (default 1)",
+    )
     sb.set_defaults(func=_cmd_submit)
+
+    reg = sub.add_parser(
+        "registry",
+        help="versioned overlay registry: publish/pin/rollback named "
+             "overlay versions on an artifact store",
+    )
+    reg.add_argument(
+        "--root", required=True,
+        help="registry/store root directory (shards share it)",
+    )
+    regsub = reg.add_subparsers(dest="registry_op", required=True)
+    rpub = regsub.add_parser(
+        "publish", help="register a design JSON as the next version"
+    )
+    rpub.add_argument("name", help="overlay family name")
+    rpub.add_argument("design", help="design JSON file")
+    rpub.add_argument("--note", default=None)
+    rlist = regsub.add_parser("list", help="list registered names")
+    rlist.add_argument("--json", action="store_true")
+    rshow = regsub.add_parser("show", help="list every version of a name")
+    rshow.add_argument("spec", help="overlay name (or name@vN)")
+    rpin = regsub.add_parser("pin", help="pin a name to one version")
+    rpin.add_argument("spec", help="name@vN")
+    runpin = regsub.add_parser("unpin", help="remove a name's pin")
+    runpin.add_argument("name")
+    rroll = regsub.add_parser(
+        "rollback", help="move the pin to an earlier version"
+    )
+    rroll.add_argument("name")
+    rroll.add_argument(
+        "--to-version", type=int, default=None,
+        help="explicit version (default: one before the active one)",
+    )
+    reg.set_defaults(func=_cmd_registry)
+
+    clu = sub.add_parser(
+        "cluster",
+        help="multi-shard serve: spawn N serve shards + the consistent-"
+             "hash front-tier router as one unit",
+    )
+    clusub = clu.add_subparsers(dest="cluster_op", required=True)
+    cserve = clusub.add_parser(
+        "serve", help="spawn shards and route until shutdown"
+    )
+    cserve.add_argument(
+        "designs", nargs="*",
+        help="design JSON file(s) every shard preloads "
+             "(may be empty with --registry)",
+    )
+    cserve.add_argument(
+        "--run-dir", required=True,
+        help="directory for shard sockets, logs, and metrics",
+    )
+    cserve.add_argument(
+        "--shards", type=int, default=2,
+        help="backend serve shard processes (default 2)",
+    )
+    cserve.add_argument(
+        "--socket", default=None,
+        help="router unix socket path (overrides --host/--port)",
+    )
+    cserve.add_argument("--host", default="127.0.0.1")
+    cserve.add_argument(
+        "--port", type=int, default=0,
+        help="router TCP port (0 picks a free one)",
+    )
+    cserve.add_argument(
+        "--registry", default=None, metavar="DIR",
+        help="shared overlay registry root for every shard + the router",
+    )
+    cserve.add_argument(
+        "--cache-dir", default=None,
+        help="shared artifact store for served results",
+    )
+    cserve.add_argument(
+        "--workers", type=int, default=2,
+        help="compile worker processes per shard (default 2)",
+    )
+    cserve.add_argument(
+        "--queue-limit", type=int, default=64,
+        help="per-shard admission limit (default 64)",
+    )
+    cserve.add_argument(
+        "--default-timeout", type=float, default=30.0,
+        help="per-shard default request deadline (seconds)",
+    )
+    cserve.add_argument(
+        "--health-interval", type=float, default=2.0,
+        help="seconds between router health sweeps (default 2)",
+    )
+    cserve.add_argument(
+        "--failover-retries", type=int, default=2,
+        help="bounded retries on overloaded/unreachable shards",
+    )
+    cserve.add_argument(
+        "--metrics", default=None,
+        help="router metrics JSONL (shards get per-shard files in "
+             "--run-dir)",
+    )
+    cserve.set_defaults(func=_cmd_cluster)
 
     val = sub.add_parser(
         "validate",

@@ -19,10 +19,11 @@ Three executors plus a pool factory:
   serial path when the sandbox offers no multiprocessing primitives
   (``OSError``).
 * :class:`SocketJobExecutor` — dispatches each job as a request to a
-  remote ``repro serve`` worker over the JSON-lines protocol.  The stub
-  toward multi-node campaigns: compute ops (map/estimate/simulate) work
-  today; shipping arbitrary shard closures needs a serve-side job op
-  (ROADMAP item 3).
+  remote ``repro serve`` worker (or cluster router) over the JSON-lines
+  protocol.  With a ``request_fn`` it speaks the typed compute ops
+  (map/estimate/simulate/remap); without one it ships the ``fn(job)``
+  closure itself through the serve-side generic ``job`` op, which is
+  what multi-node soak and distributed DSE fan out over.
 
 :func:`make_worker_pool` is the same process-else-thread fallback for
 subsystems that need a long-lived ``concurrent.futures`` executor (the
@@ -201,16 +202,27 @@ class ProcessPoolJobExecutor:
 class SocketJobExecutor:
     """Dispatch jobs to a remote ``repro serve`` worker over its socket.
 
-    ``request_fn(payload)`` adapts one job to the keyword arguments of
-    :meth:`repro.serve.client.ServeClient.request` (``op``,
-    ``workload``, ``overlay``, ``timeout_s``).  All jobs are fired
-    concurrently (bounded by ``concurrency``) over one pipelined
-    connection; outcomes come back in submission order.  A structured
-    serve error (bad request, overloaded, deadline) is a recorded
-    per-job failure, never an exception — the same fault isolation the
-    local executors give.  Remote ``deadline`` errors map onto
-    ``timed_out`` so :class:`~repro.jobs.runner.FaultPolicy` treats
-    local and remote expiry identically.
+    Two modes share the connection/fault plumbing:
+
+    * ``request_fn(payload)`` adapts one job to the keyword arguments
+      of :meth:`repro.serve.client.ServeClient.request` (``op``,
+      ``workload``, ``overlay``, ``timeout_s``) — the typed compute
+      path.
+    * Without ``request_fn``, the executor ships ``fn(payload)``
+      itself: the pair is pickled through the serve-side generic
+      ``job`` op and the unpickled return value lands in
+      ``JobOutcome.result`` — byte-for-byte what a local executor
+      would have produced.  ``fn`` must be an importable module-level
+      callable (the standard process-pool constraint), and the target
+      must be a trusted server (the job op executes pickled closures).
+
+    All jobs are fired concurrently (bounded by ``concurrency``) over
+    one pipelined connection; outcomes come back in submission order.
+    A structured serve error (bad request, overloaded, deadline) is a
+    recorded per-job failure, never an exception — the same fault
+    isolation the local executors give.  Remote ``deadline`` errors map
+    onto ``timed_out`` so :class:`~repro.jobs.runner.FaultPolicy`
+    treats local and remote expiry identically.
     """
 
     kind = "socket"
@@ -238,37 +250,50 @@ class SocketJobExecutor:
         timeout_s: Optional[float] = None,
         fail_fast: bool = False,
     ) -> Iterator[JobOutcome]:
-        # ``fn`` is ignored: the remote worker owns execution.  Jobs are
-        # all in flight before the first outcome is observed, so
-        # fail-fast cannot cancel siblings; the policy still raises.
+        # Jobs are all in flight before the first outcome is observed,
+        # so fail-fast cannot cancel siblings; the policy still raises.
         import asyncio
 
-        if self.request_fn is None:
+        if self.request_fn is None and not callable(fn):
             raise ValueError(
-                "SocketJobExecutor needs a request_fn mapping each job "
-                "to a serve request"
+                "SocketJobExecutor without a request_fn ships fn itself "
+                "through the generic job op; fn must be callable"
             )
-        self.last_mode = "socket"
-        yield from asyncio.run(self._dispatch(list(pending), timeout_s))
+        self.last_mode = "socket" if self.request_fn else "socket-job"
+        yield from asyncio.run(self._dispatch(fn, list(pending), timeout_s))
 
     async def _dispatch(
-        self, items: List[Tuple[int, Any]], timeout_s: Optional[float]
+        self,
+        fn: Callable[[Any], Any],
+        items: List[Tuple[int, Any]],
+        timeout_s: Optional[float],
     ) -> List[JobOutcome]:
         import asyncio
 
         from ..serve.client import ServeClient
         from ..serve.errors import ServeError
+        from ..serve.ops import pack_job, unpack_job_result
 
         limit = asyncio.Semaphore(self.concurrency)
 
         async def one(client: ServeClient, index: int, payload: Any) -> JobOutcome:
-            kwargs = dict(self.request_fn(payload))
+            if self.request_fn is not None:
+                kwargs = dict(self.request_fn(payload))
+                generic = False
+            else:
+                kwargs = {
+                    "op": "job",
+                    "options": {"payload": pack_job(fn, payload)},
+                }
+                generic = True
             if timeout_s is not None:
                 kwargs.setdefault("timeout_s", timeout_s)
             t0 = perf_counter()
             async with limit:
                 try:
                     result = await client.request(**kwargs)
+                    if generic:
+                        result = unpack_job_result(result["payload"])
                 except ServeError as exc:
                     return JobOutcome(
                         index=index, payload=payload, result=None,

@@ -16,7 +16,9 @@ from .client import (
     LoadReport,
     ServeClient,
     ServeConnectionError,
+    build_load_plan,
     run_load,
+    run_load_sharded,
     wait_for_server,
 )
 from .errors import (
@@ -34,12 +36,19 @@ from .ops import (
     estimate_op,
     map_op,
     overlay_fingerprint,
+    pack_job,
+    remap_op,
     result_key,
+    run_job_payload,
     run_op,
+    simulate_batch_doc,
     simulate_batch_op,
     simulate_op,
     single_shot,
+    unpack_job_result,
+    workload_fp,
 )
+from .protocol import JOB_OPS
 from .protocol import (
     ADMIN_OPS,
     ALL_OPS,
@@ -69,6 +78,7 @@ __all__ = [
     "DeadlineError",
     "FlightStats",
     "InternalError",
+    "JOB_OPS",
     "LatencyReservoir",
     "LoadReport",
     "MAX_LINE_BYTES",
@@ -84,6 +94,7 @@ __all__ = [
     "ShuttingDownError",
     "SingleFlight",
     "UnmappableError",
+    "build_load_plan",
     "canonical_dumps",
     "compute_op",
     "decode_line",
@@ -92,14 +103,21 @@ __all__ = [
     "estimate_op",
     "map_op",
     "overlay_fingerprint",
+    "pack_job",
     "parse_request",
+    "remap_op",
     "response_doc",
     "result_key",
+    "run_job_payload",
     "run_load",
+    "run_load_sharded",
     "run_op",
     "serve_until_shutdown",
+    "simulate_batch_doc",
     "simulate_batch_op",
     "simulate_op",
     "single_shot",
+    "unpack_job_result",
     "wait_for_server",
+    "workload_fp",
 ]

@@ -167,3 +167,19 @@ class LatencyReservoir:
 
     def snapshot(self) -> Optional[Dict[str, float]]:
         return self.as_dict() if self.count else None
+
+    def merge(self, other: "LatencyReservoir") -> "LatencyReservoir":
+        """Fold ``other``'s samples in (multi-process load reports).
+
+        Counts and totals add exactly; the sample buffer keeps an
+        evenly-strided subset when the union exceeds ``cap``, so the
+        merged percentiles stay representative of both sides.
+        """
+        self.count += other.count
+        self.total_s += other.total_s
+        combined = self._samples + other._samples
+        if len(combined) > self.cap:
+            step = len(combined) / self.cap
+            combined = [combined[int(i * step)] for i in range(self.cap)]
+        self._samples = combined
+        return self

@@ -143,6 +143,7 @@ class ServeClient:
         workload: Optional[str] = None,
         overlay: Optional[str] = None,
         timeout_s: Optional[float] = None,
+        options: Optional[Dict[str, Any]] = None,
     ) -> Dict[str, Any]:
         """One request; returns the ``result`` doc or raises the typed error."""
         doc: Dict[str, Any] = {"op": op}
@@ -152,6 +153,8 @@ class ServeClient:
             doc["overlay"] = overlay
         if timeout_s is not None:
             doc["timeout_s"] = timeout_s
+        if options:
+            doc["options"] = options
         response = await self.request_raw(doc)
         if not response.get("ok"):
             raise error_from_doc(response.get("error"))
@@ -196,10 +199,14 @@ class LoadReport:
     error_codes: Dict[str, int] = field(default_factory=dict)
     wall_s: float = 0.0
     latency: LatencyReservoir = field(default_factory=LatencyReservoir)
-    #: canonical result bytes per (op, workload) — duplicates must match.
-    results: Dict[Tuple[str, str], str] = field(default_factory=dict)
+    #: canonical result bytes per (op, workload, overlay) — duplicates
+    #: must match, across connections, processes, and shard counts.
+    results: Dict[Tuple[str, str, str], str] = field(default_factory=dict)
     mismatches: List[str] = field(default_factory=list)
     server_stats: Optional[Dict[str, Any]] = None
+    #: per routed shard: request count + latency (cluster-direct mode).
+    shard_requests: Dict[int, int] = field(default_factory=dict)
+    shard_latency: Dict[int, LatencyReservoir] = field(default_factory=dict)
 
     @property
     def throughput(self) -> float:
@@ -209,10 +216,67 @@ class LoadReport:
     def computes(self) -> Optional[int]:
         if self.server_stats is None:
             return None
-        return self.server_stats["counters"].get("computes")
+        counters = self.server_stats.get("counters") or {}
+        if "computes" in counters:
+            return counters.get("computes")
+        aggregate = self.server_stats.get("aggregate") or {}
+        return (aggregate.get("counters") or {}).get("computes")
+
+    @property
+    def balance(self) -> Optional[float]:
+        """Busiest shard over the mean (1.0 = perfectly even routing)."""
+        if not self.shard_requests:
+            return None
+        mean = sum(self.shard_requests.values()) / len(self.shard_requests)
+        return max(self.shard_requests.values()) / mean if mean else None
+
+    def record(self, latency_s: float, shard: Optional[int]) -> None:
+        self.requests += 1
+        self.latency.record(latency_s)
+        if shard is not None:
+            self.shard_requests[shard] = (
+                self.shard_requests.get(shard, 0) + 1
+            )
+            self.shard_latency.setdefault(
+                shard, LatencyReservoir()
+            ).record(latency_s)
+
+    def merge(self, other: "LoadReport") -> "LoadReport":
+        """Fold in another process's report (sharded load generation).
+
+        Result bytes are cross-checked across reports: the same
+        (op, workload, overlay) key must have produced identical
+        canonical JSON in every generator process.
+        """
+        self.ok += other.ok
+        self.errors += other.errors
+        self.requests = self.ok + self.errors
+        for code, n in other.error_codes.items():
+            self.error_codes[code] = self.error_codes.get(code, 0) + n
+        self.wall_s = max(self.wall_s, other.wall_s)
+        self.latency.merge(other.latency)
+        self.mismatches.extend(other.mismatches)
+        for key, blob in other.results.items():
+            seen = self.results.setdefault(key, blob)
+            if seen != blob:
+                self.mismatches.append(
+                    f"{'/'.join(k for k in key if k)}: divergent result "
+                    "across load shards"
+                )
+        for shard, n in other.shard_requests.items():
+            self.shard_requests[shard] = (
+                self.shard_requests.get(shard, 0) + n
+            )
+        for shard, reservoir in other.shard_latency.items():
+            self.shard_latency.setdefault(
+                shard, LatencyReservoir()
+            ).merge(reservoir)
+        if self.server_stats is None:
+            self.server_stats = other.server_stats
+        return self
 
     def as_dict(self) -> Dict[str, Any]:
-        return {
+        doc: Dict[str, Any] = {
             "requests": self.requests,
             "ok": self.ok,
             "errors": self.errors,
@@ -223,6 +287,16 @@ class LoadReport:
             "mismatches": self.mismatches,
             "computes": self.computes,
         }
+        if self.shard_requests:
+            doc["per_shard"] = {
+                str(shard): {
+                    "requests": self.shard_requests[shard],
+                    **self.shard_latency[shard].as_dict(),
+                }
+                for shard in sorted(self.shard_requests)
+            }
+            doc["balance"] = self.balance
+        return doc
 
     def render(self) -> str:
         lat = self.latency.as_dict()
@@ -240,18 +314,67 @@ class LoadReport:
                 f"{code}={n}" for code, n in sorted(self.error_codes.items())
             )
             lines.append(f"error codes: {codes}")
-        if self.server_stats is not None:
-            c = self.server_stats["counters"]
-            f_ = self.server_stats["flights"]
+        for shard in sorted(self.shard_requests):
+            s_lat = self.shard_latency[shard].as_dict()
             lines.append(
-                f"server: {c['computes']} compiles for {self.requests} "
-                f"requests (coalesced {c['coalesced']}, memory hits "
-                f"{c['cache_memory']}, disk hits {c['cache_disk']}, "
-                f"coalesce rate {f_['coalesce_rate']:.0%})"
+                f"shard {shard}: {self.shard_requests[shard]} requests, "
+                f"p50 {s_lat['p50_s'] * 1e3:.1f} ms, "
+                f"p95 {s_lat['p95_s'] * 1e3:.1f} ms, "
+                f"p99 {s_lat['p99_s'] * 1e3:.1f} ms"
             )
+        if self.balance is not None:
+            lines.append(
+                f"routing balance: busiest shard at "
+                f"{self.balance:.2f}x the mean"
+            )
+        if self.server_stats is not None:
+            counters = self.server_stats.get("counters") or {}
+            if "computes" in counters:
+                f_ = self.server_stats["flights"]
+                lines.append(
+                    f"server: {counters['computes']} compiles for "
+                    f"{self.requests} requests (coalesced "
+                    f"{counters['coalesced']}, memory hits "
+                    f"{counters['cache_memory']}, disk hits "
+                    f"{counters['cache_disk']}, coalesce rate "
+                    f"{f_['coalesce_rate']:.0%})"
+                )
+            else:  # router stats: aggregate over shards
+                agg = (self.server_stats.get("aggregate") or {}).get(
+                    "counters"
+                ) or {}
+                lines.append(
+                    f"cluster: {agg.get('computes', 0)} compiles for "
+                    f"{self.requests} requests across "
+                    f"{len(self.server_stats.get('shards') or [])} shards "
+                    f"(coalesced {agg.get('coalesced', 0)}, memory hits "
+                    f"{agg.get('cache_memory', 0)}, remap preserved "
+                    f"{agg.get('remap_preserved', 0)})"
+                )
         if self.mismatches:
             lines.append(f"RESULT MISMATCHES: {self.mismatches}")
         return "\n".join(lines)
+
+
+def build_load_plan(
+    ops: Sequence[str],
+    workloads: Sequence[str],
+    overlays: Sequence[Optional[str]],
+    requests: int,
+) -> List[Tuple[str, str, Optional[str]]]:
+    """The deterministic request plan every load generator shares.
+
+    A pure function of its arguments, so N generator processes can each
+    take a contiguous :class:`~repro.jobs.ShardPlan` slice of the same
+    plan and the union is exactly the 1-process run.
+    """
+    mix = [
+        (op, wl, ov)
+        for ov in (overlays or [None])
+        for wl in workloads
+        for op in ops
+    ]
+    return [mix[i % len(mix)] for i in range(requests)]
 
 
 async def run_load(
@@ -261,36 +384,98 @@ async def run_load(
     requests: int = 64,
     concurrency: int = 16,
     overlay: Optional[str] = None,
+    overlays: Optional[Sequence[str]] = None,
     timeout_s: Optional[float] = None,
     expect_errors: bool = False,
     fetch_stats: bool = True,
+    cluster: bool = False,
+    plan: Optional[Sequence[Tuple[str, str, Optional[str]]]] = None,
 ) -> LoadReport:
     """Fire a mixed, duplicate-heavy request stream; collect a report.
 
     ``client_factory`` returns an unconnected :class:`ServeClient`; the
     generator opens ``concurrency`` connections and drives them in
-    parallel, cycling the op × workload product so identical requests
-    overlap in flight.
+    parallel, cycling the op × workload × overlay product so identical
+    requests overlap in flight.
+
+    With ``cluster=True`` the generator first fetches the ``topology``
+    op from the endpoint and then routes each request *directly* to the
+    owning shard using the same slot hash + ShardPlan math the router
+    uses — per-shard latency and routing balance land in the report,
+    and the front tier never touches the data path.
     """
     report = LoadReport()
-    mix = [(op, wl) for wl in workloads for op in ops]
-    plan = [mix[i % len(mix)] for i in range(requests)]
-    queue: "asyncio.Queue[Tuple[str, str]]" = asyncio.Queue()
+    if plan is None:
+        plan = build_load_plan(
+            ops, workloads, overlays or [overlay], requests
+        )
+    queue: "asyncio.Queue[Tuple[str, str, Optional[str]]]" = asyncio.Queue()
     for item in plan:
         queue.put_nowait(item)
     lock = asyncio.Lock()
 
-    async def worker() -> None:
+    topology = None
+    if cluster:
+        from ..cluster.topology import Topology
+
         async with client_factory() as client:
+            topology = Topology.from_doc(await client.request("topology"))
+        if not topology.shards:
+            raise ServeError("endpoint advertised an empty topology")
+
+    _wfp_cache: Dict[str, str] = {}
+
+    def shard_for(op: str, wl: str, ov: Optional[str]) -> Optional[int]:
+        if topology is None:
+            return None
+        from ..cluster.registry import split_spec
+        from .ops import workload_fp
+
+        if ov is None:
+            overlay_key = ""
+        elif op == "remap":
+            # remap routes on the registry base name: every version of
+            # a family must land where the prior schedule lives.
+            overlay_key = split_spec(ov)[0]
+        else:
+            overlay_key = topology.overlays.get(ov, ov)
+        cached = _wfp_cache.get(wl)
+        if cached is None:
+            cached = _wfp_cache[wl] = workload_fp(wl)
+        return topology.shard_for(overlay_key, cached).index
+
+    def make_client(shard: Optional[int]) -> ServeClient:
+        if shard is None or topology is None:
+            return client_factory()
+        spec = next(
+            s for s in topology.shards if s.index == shard
+        )
+        return ServeClient(
+            socket_path=spec.socket_path, host=spec.host, port=spec.port
+        )
+
+    async def worker() -> None:
+        clients: Dict[Optional[int], ServeClient] = {}
+
+        async def client_for(shard: Optional[int]) -> ServeClient:
+            client = clients.get(shard)
+            if client is None:
+                client = clients[shard] = make_client(shard)
+                await client.connect()
+            return client
+
+        try:
             while True:
                 try:
-                    op, wl = queue.get_nowait()
+                    op, wl, ov = queue.get_nowait()
                 except asyncio.QueueEmpty:
                     return
+                shard = shard_for(op, wl, ov)
                 t0 = perf_counter()
                 try:
+                    client = await client_for(shard)
                     result = await client.request(
-                        op, workload=wl, overlay=overlay, timeout_s=timeout_s
+                        op, workload=wl, overlay=ov, timeout_s=timeout_s
                     )
                 except ServeError as exc:
                     async with lock:
@@ -302,16 +487,22 @@ async def run_load(
                 finally:
                     latency = perf_counter() - t0
                     async with lock:
-                        report.requests += 1
-                        report.latency.record(latency)
+                        report.record(latency, shard)
                 blob = canonical_dumps(result)
+                key = (op, wl, ov or "")
                 async with lock:
                     report.ok += 1
-                    seen = report.results.setdefault((op, wl), blob)
+                    seen = report.results.setdefault(key, blob)
                     if seen != blob:
                         report.mismatches.append(
                             f"{op}/{wl}: divergent duplicate result"
                         )
+        finally:
+            for client in clients.values():
+                try:
+                    await client.close()
+                except Exception:
+                    pass
 
     t_start = perf_counter()
     await asyncio.gather(*(worker() for _ in range(max(1, concurrency))))
@@ -327,3 +518,78 @@ async def run_load(
             f"load run hit {report.errors} errors ({codes}); see report"
         )
     return report
+
+
+def _load_shard_worker(config: Dict[str, Any]) -> LoadReport:
+    """One load-generator process: run its slice of the shared plan."""
+    factory = lambda: ServeClient(  # noqa: E731 - trivial local factory
+        socket_path=config.get("socket"),
+        host=config.get("host", "127.0.0.1"),
+        port=config.get("port", 0),
+    )
+    return asyncio.run(
+        run_load(
+            factory,
+            requests=len(config["plan"]),
+            concurrency=config["concurrency"],
+            timeout_s=config.get("timeout_s"),
+            expect_errors=True,  # merged report applies the policy once
+            fetch_stats=False,
+            cluster=config.get("cluster", False),
+            plan=[tuple(item) for item in config["plan"]],
+        )
+    )
+
+
+def run_load_sharded(
+    endpoint: Dict[str, Any],
+    ops: Sequence[str],
+    workloads: Sequence[str],
+    requests: int,
+    concurrency: int,
+    load_shards: int,
+    overlays: Optional[Sequence[str]] = None,
+    timeout_s: Optional[float] = None,
+    expect_errors: bool = False,
+    cluster: bool = False,
+) -> LoadReport:
+    """Drive the load from ``load_shards`` generator processes.
+
+    One asyncio loop tops out far below what a multi-shard cluster can
+    serve, so the generator itself must scale out to measure it.  The
+    deterministic plan is built once, split contiguously with
+    :class:`~repro.jobs.ShardPlan`, and each process runs its slice;
+    reports merge with cross-process byte-identity checks.
+    """
+    from ..jobs import ProcessPoolJobExecutor, ShardPlan
+
+    plan = build_load_plan(ops, workloads, overlays or [None], requests)
+    slices = ShardPlan(total=len(plan), shards=load_shards).slices()
+    configs = [
+        {
+            **endpoint,
+            "plan": plan[s.start:s.stop],
+            "concurrency": max(1, concurrency // max(1, len(slices))),
+            "timeout_s": timeout_s,
+            "cluster": cluster,
+        }
+        for s in slices
+        if s.count
+    ]
+    executor = ProcessPoolJobExecutor(workers=len(configs))
+    merged = LoadReport()
+    for outcome in executor.execute(
+        _load_shard_worker, list(enumerate(configs))
+    ):
+        if not outcome.ok:
+            raise ServeError(
+                f"load generator shard {outcome.index} failed: "
+                f"{outcome.error}"
+            )
+        merged.merge(outcome.result)
+    if not expect_errors and merged.errors:
+        codes = ", ".join(sorted(merged.error_codes))
+        raise ServeError(
+            f"load run hit {merged.errors} errors ({codes}); see report"
+        )
+    return merged

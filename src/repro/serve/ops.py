@@ -17,7 +17,9 @@ are rendered with :func:`~repro.serve.protocol.canonical_dumps`, so
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional, Sequence
+import base64
+import pickle
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..adg import SysADG, sysadg_from_dict, sysadg_to_dict
 from ..compiler import generate_variants
@@ -26,7 +28,7 @@ from ..engine.hashing import (
     fingerprint,
     workload_fingerprint,
 )
-from ..scheduler import schedule_workload
+from ..scheduler import revalidate_schedule, schedule_workload
 from ..sim import simulate_batch, simulate_schedule
 from ..workloads import get_workload
 from .errors import BadRequestError, UnmappableError
@@ -88,11 +90,11 @@ def _estimate_doc(schedule) -> Dict[str, Any]:
     return doc
 
 
-def map_op(sysadg: SysADG, workload_name: str) -> Dict[str, Any]:
-    """Compile + schedule ``workload_name`` onto the overlay."""
-    schedule = _schedule(sysadg, workload_name)
+def _schedule_doc(
+    op: str, sysadg: SysADG, workload_name: str, schedule
+) -> Dict[str, Any]:
     return {
-        "op": "map",
+        "op": op,
         "overlay": sysadg.name,
         "workload": workload_name,
         "variant": schedule.mdfg.variant,
@@ -102,6 +104,12 @@ def map_op(sysadg: SysADG, workload_name: str) -> Dict[str, Any]:
         "config_words": schedule.mdfg.config_words,
         "estimate": _estimate_doc(schedule),
     }
+
+
+def map_op(sysadg: SysADG, workload_name: str) -> Dict[str, Any]:
+    """Compile + schedule ``workload_name`` onto the overlay."""
+    schedule = _schedule(sysadg, workload_name)
+    return _schedule_doc("map", sysadg, workload_name, schedule)
 
 
 def estimate_op(sysadg: SysADG, workload_name: str) -> Dict[str, Any]:
@@ -169,7 +177,120 @@ def simulate_batch_op(
     return docs
 
 
-_OPS = {"map": map_op, "estimate": estimate_op, "simulate": simulate_op}
+def split_workloads(workload_field: str) -> List[str]:
+    """Split a request's comma-separated ``workload`` field."""
+    names = [n.strip() for n in workload_field.split(",") if n.strip()]
+    if not names:
+        raise BadRequestError(
+            f"no workload names in {workload_field!r}"
+        )
+    return names
+
+
+def simulate_batch_doc(
+    sysadg: SysADG, workload_field: str
+) -> Dict[str, Any]:
+    """Wire form of :func:`simulate_batch_op` for one request.
+
+    ``results[i]`` is field-identical to the document ``simulate`` would
+    serve for ``workloads[i]`` (``null`` when unmappable), so a client
+    fanning a batch out as N ``simulate`` requests and a client sending
+    one ``simulate_batch`` can be diffed doc-for-doc.
+    """
+    names = split_workloads(workload_field)
+    return {
+        "op": "simulate_batch",
+        "overlay": sysadg.name,
+        "workloads": list(names),
+        "results": simulate_batch_op(sysadg, names),
+    }
+
+
+def _remap_schedule(
+    sysadg: SysADG, workload_name: str, prior_schedule
+) -> Tuple[Any, str]:
+    """(schedule, path) where path ∈ preserved / recompiled / cold.
+
+    The OverGen Fig. 18 story as an op: when the caller holds the
+    schedule served for a *previous version* of this overlay,
+    :func:`~repro.scheduler.revalidate_schedule` keeps it wholesale
+    (no placement, no routing — the 6.8× fast path measured in
+    BENCH_dse.json) and only a failed revalidation pays for a full
+    recompile.
+    """
+    if prior_schedule is not None:
+        kept = revalidate_schedule(
+            prior_schedule, sysadg.adg, sysadg.params
+        )
+        if kept is not None:
+            return kept, "preserved"
+        return _schedule(sysadg, workload_name), "recompiled"
+    return _schedule(sysadg, workload_name), "cold"
+
+
+def remap_op(sysadg: SysADG, workload_name: str) -> Dict[str, Any]:
+    """Single-shot ``remap`` (no prior schedule: always a cold compile).
+
+    The result document deliberately omits the preservation path — it
+    depends on server-side schedule history, and result documents must
+    be byte-identical across serving configurations.  The server
+    reports the path out-of-band (``served.remap`` + counters).
+    """
+    schedule, _path = _remap_schedule(sysadg, workload_name, None)
+    return _schedule_doc("remap", sysadg, workload_name, schedule)
+
+
+def remap_compute(
+    design_doc: Dict[str, Any],
+    workload_name: str,
+    prior_schedule=None,
+) -> Tuple[Dict[str, Any], str, Any]:
+    """Worker-pool entry for ``remap``: (doc, path, schedule).
+
+    Returns the schedule itself (plain picklable dataclass) so the
+    server can retain it as the prior for the overlay's *next* version.
+    """
+    sysadg = sysadg_from_dict(design_doc)
+    schedule, path = _remap_schedule(sysadg, workload_name, prior_schedule)
+    return _schedule_doc("remap", sysadg, workload_name, schedule), path, schedule
+
+
+def pack_job(fn: Callable[[Any], Any], payload: Any) -> str:
+    """Encode one ``fn(payload)`` closure for the wire ``job`` op.
+
+    The closure is pickled, so ``fn`` must be an importable module-level
+    callable on the server side too — the same constraint every process
+    pool imposes.  The server executes jobs on its worker pool with no
+    further validation: the job op is for trusted transports
+    (``SocketJobExecutor`` talking to shards it launched), not for
+    exposure to untrusted clients.
+    """
+    return base64.b64encode(pickle.dumps((fn, payload))).decode("ascii")
+
+
+def run_job_payload(payload_b64: str) -> str:
+    """Worker-pool entry for ``job``: decode, call, re-encode the result."""
+    fn, arg = pickle.loads(base64.b64decode(payload_b64))
+    return base64.b64encode(pickle.dumps(fn(arg))).decode("ascii")
+
+
+def unpack_job_result(result_b64: str) -> Any:
+    return pickle.loads(base64.b64decode(result_b64))
+
+
+def _simulate_batch_entry(
+    sysadg: SysADG, workload_field: str
+) -> Dict[str, Any]:
+    return simulate_batch_doc(sysadg, workload_field)
+
+
+_OPS = {
+    "map": map_op,
+    "estimate": estimate_op,
+    "simulate": simulate_op,
+    "simulate_batch": _simulate_batch_entry,
+    "remap": remap_op,
+}
 
 
 def run_op(op: str, sysadg: SysADG, workload_name: str) -> Dict[str, Any]:
@@ -194,7 +315,20 @@ def compute_op(
 
 
 def workload_fp(workload_name: str) -> str:
-    """Fingerprint of a registry workload's full body, by name."""
+    """Fingerprint of a registry workload's full body, by name.
+
+    A comma-separated list (the ``simulate_batch`` workload field) gets
+    a batch fingerprint over the per-name fingerprints, order included.
+    """
+    if "," in workload_name:
+        return fingerprint(
+            {
+                "kind": "workload_batch",
+                "workloads": [
+                    workload_fp(n) for n in split_workloads(workload_name)
+                ],
+            }
+        )
     return workload_fingerprint(_resolve_workload(workload_name))
 
 

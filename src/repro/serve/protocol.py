@@ -10,10 +10,17 @@ Request document::
      "timeout_s": 5.0, "options": {}}
 
 ``op`` is one of :data:`COMPUTE_OPS` (CPU-bound, admission-controlled,
-coalesced) or :data:`ADMIN_OPS` (served inline: ``ping``, ``stats``,
-``shutdown``).  ``overlay`` may be omitted when the server holds exactly
-one design.  ``id`` is echoed back verbatim so clients may pipeline many
-requests over one connection.
+coalesced — ``map``/``estimate``/``simulate``, the multi-workload
+``simulate_batch`` whose ``workload`` is a comma-separated list, and
+``remap``, the schedule-preserving incremental recompile), the generic
+:data:`JOB_OPS` ``job`` (an opaque pickled closure in
+``options.payload``, executed on the worker pool — the transport
+``SocketJobExecutor`` ships shard work over), or :data:`ADMIN_OPS`
+(served inline: ``ping``, ``stats``, ``shutdown``, ``load_overlay``,
+``topology``).  ``overlay`` may be omitted when the server holds
+exactly one design and may be a registry spec (``name@v2``) when the
+server has a registry attached.  ``id`` is echoed back verbatim so
+clients may pipeline many requests over one connection.
 
 Response document::
 
@@ -43,9 +50,10 @@ PROTOCOL_VERSION = 1
 #: make the server buffer unboundedly.
 MAX_LINE_BYTES = 1 << 20
 
-COMPUTE_OPS = ("map", "estimate", "simulate")
-ADMIN_OPS = ("ping", "stats", "shutdown")
-ALL_OPS = COMPUTE_OPS + ADMIN_OPS
+COMPUTE_OPS = ("map", "estimate", "simulate", "simulate_batch", "remap")
+JOB_OPS = ("job",)
+ADMIN_OPS = ("ping", "stats", "shutdown", "load_overlay", "topology")
+ALL_OPS = COMPUTE_OPS + JOB_OPS + ADMIN_OPS
 
 
 def canonical_dumps(doc: Any) -> str:
@@ -127,6 +135,12 @@ def parse_request(doc: Dict[str, Any]) -> Request:
     options = doc.get("options", {})
     if not isinstance(options, dict):
         raise BadRequestError("'options' must be an object when present")
+    if op in JOB_OPS:
+        payload = options.get("payload")
+        if not isinstance(payload, str) or not payload:
+            raise BadRequestError(
+                "op 'job' requires a non-empty string 'options.payload'"
+            )
     return Request(
         id=req_id,
         op=op,

@@ -46,7 +46,8 @@ from dataclasses import dataclass, field
 from time import perf_counter
 from typing import Any, Dict, List, Optional, Tuple
 
-from ..adg import SysADG, load_sysadg, sysadg_to_dict
+from ..adg import SysADG, load_sysadg, sysadg_from_dict, sysadg_to_dict
+from ..cluster.registry import OverlayRegistry, RegistryError
 from ..engine.metrics import MetricsLogger
 from ..engine.store import ArtifactStore
 from ..jobs import make_worker_pool
@@ -59,7 +60,14 @@ from .errors import (
     ServeError,
     ShuttingDownError,
 )
-from .ops import compute_op, overlay_fingerprint, result_key, workload_fp
+from .ops import (
+    compute_op,
+    overlay_fingerprint,
+    remap_compute,
+    result_key,
+    run_job_payload,
+    workload_fp,
+)
 from .protocol import (
     MAX_LINE_BYTES,
     PROTOCOL_VERSION,
@@ -90,6 +98,10 @@ class ServeConfig:
     drain_timeout_s: float = 30.0
     #: Artifact-store directory for served results (None disables).
     cache_dir: Optional[str] = None
+    #: Store root holding a versioned overlay registry; when set,
+    #: requests may address overlays by ``name``/``name@vN`` specs that
+    #: are resolved and cached on first use (None disables).
+    registry_dir: Optional[str] = None
 
 
 @dataclass
@@ -100,6 +112,10 @@ class OverlayEntry:
     sysadg: SysADG
     design_doc: Dict[str, Any] = field(repr=False, default_factory=dict)
     fingerprint: str = ""
+    #: Registry name this entry is a version of ("" for direct loads).
+    #: ``remap`` keys its schedule continuity on the base name, so a
+    #: new version of the same name inherits the prior schedule.
+    base_name: str = ""
 
 
 class OverlayServer:
@@ -124,14 +140,30 @@ class OverlayServer:
             "cache_memory": 0,
             "cache_disk": 0,
             "coalesced": 0,
+            "jobs": 0,
+            "registry_loads": 0,
+            "remap_preserved": 0,
+            "remap_recompiled": 0,
+            "remap_cold": 0,
         }
         self.store: Optional[ArtifactStore] = (
             ArtifactStore(self.config.cache_dir)
             if self.config.cache_dir
             else None
         )
+        self.registry: Optional[OverlayRegistry] = (
+            OverlayRegistry(self.config.registry_dir)
+            if self.config.registry_dir
+            else None
+        )
         self._memory: Dict[str, Tuple[str, Dict[str, Any]]] = {}
         self._workload_fps: Dict[str, str] = {}
+        #: (base name, workload fp) -> (overlay fp, schedule): the live
+        #: schedule ``remap`` tries to preserve across overlay versions.
+        self._schedules: Dict[Tuple[str, str], Tuple[str, Any]] = {}
+        #: result key -> how the last remap compute resolved
+        #: (preserved / recompiled / cold), reported in ``served``.
+        self._remap_paths: Dict[str, str] = {}
         self._server: Optional[asyncio.AbstractServer] = None
         self._executor: Optional[Executor] = None
         self._executor_kind = "none"
@@ -166,11 +198,55 @@ class OverlayServer:
                 "request must name one"
             )
         entry = self.overlays.get(name)
-        if entry is None:
+        if entry is not None:
+            return entry
+        if self.registry is not None:
+            return self._resolve_from_registry(name)
+        raise BadRequestError(
+            f"unknown overlay {name!r}; loaded: "
+            f"{', '.join(sorted(self.overlays)) or 'none'}"
+        )
+
+    def _resolve_from_registry(self, spec: str) -> OverlayEntry:
+        """Resolve ``name``/``name@vN`` through the registry, caching the
+        built design under its explicit ``name@vN`` spec (so bare names
+        re-resolve each time and track pin moves, while version loads
+        pay the deserialization once)."""
+        try:
+            version = self.registry.lookup(spec)
+        except RegistryError as exc:
             raise BadRequestError(
-                f"unknown overlay {name!r}; loaded: "
-                f"{', '.join(sorted(self.overlays)) or 'none'}"
-            )
+                f"unknown overlay {spec!r}; loaded: "
+                f"{', '.join(sorted(self.overlays)) or 'none'}; "
+                f"registry: {exc}"
+            ) from exc
+        cached = self.overlays.get(version.spec)
+        if cached is not None:
+            return cached
+        try:
+            resolved = self.registry.resolve(version.spec)
+            sysadg = sysadg_from_dict(resolved.design_doc)
+        except RegistryError as exc:
+            raise InternalError(str(exc)) from exc
+        except Exception as exc:
+            raise InternalError(
+                f"registry design {version.spec} failed to deserialize: "
+                f"{type(exc).__name__}: {exc}"
+            ) from exc
+        entry = OverlayEntry(
+            name=version.spec,
+            sysadg=sysadg,
+            design_doc=resolved.design_doc,
+            fingerprint=overlay_fingerprint(sysadg),
+            base_name=version.name,
+        )
+        self.overlays[version.spec] = entry
+        self.counters["registry_loads"] += 1
+        self.metrics.emit(
+            "registry_load",
+            spec=version.spec,
+            fingerprint=entry.fingerprint,
+        )
         return entry
 
     def _workload_fp(self, name: str) -> str:
@@ -181,8 +257,11 @@ class OverlayServer:
 
     # -- lifecycle ------------------------------------------------------
     async def start(self) -> None:
-        if not self.overlays:
-            raise ValueError("cannot start a server with no overlays loaded")
+        if not self.overlays and self.registry is None:
+            raise ValueError(
+                "cannot start a server with no overlays loaded and no "
+                "registry to resolve them from"
+            )
         self._closed = asyncio.Event()
         self._make_executor()
         cfg = self.config
@@ -368,6 +447,14 @@ class OverlayServer:
             # reaches the client before the connection dies.
             asyncio.get_running_loop().create_task(self.shutdown())
             return response_doc(request.id, result={"draining": True})
+        if request.op == "topology":
+            return response_doc(request.id, result=self.topology_doc())
+        if request.op == "load_overlay":
+            return response_doc(
+                request.id, result=self._op_load_overlay(request)
+            )
+        if request.op == "job":
+            return await self._dispatch_job(request)
         return await self._dispatch_compute(request)
 
     async def _dispatch_compute(self, request: Request) -> Dict[str, Any]:
@@ -410,6 +497,10 @@ class OverlayServer:
             "latency_s": latency,
             "queue_wait_s": queue_wait if is_leader else latency,
         }
+        if request.op == "remap":
+            # How the schedule was obtained lives out-of-band: result
+            # documents stay byte-identical across serving histories.
+            served["remap"] = self._remap_paths.get(key, "cache")
         kind, payload_doc = payload
         self.metrics.emit(
             "request",
@@ -437,7 +528,9 @@ class OverlayServer:
         if cached is not None:
             self.counters["cache_memory"] += 1
             return cached, "memory", 0.0
-        if self.store is not None:
+        # remap results depend on server-side schedule history, so they
+        # are memoized in memory only, never in the shared disk store.
+        if self.store is not None and request.op != "remap":
             stored = self.store.get(key)
             if stored is not None:
                 self.counters["cache_disk"] += 1
@@ -451,13 +544,28 @@ class OverlayServer:
             self.counters["computes"] += 1
             queue_wait = perf_counter() - t_start
             try:
-                doc = await loop.run_in_executor(
-                    self._executor,
-                    compute_op,
-                    request.op,
-                    entry.design_doc,
-                    request.workload,
-                )
+                if request.op == "remap":
+                    base = entry.base_name or entry.name
+                    sched_key = (base, self._workload_fp(request.workload))
+                    prior = self._schedules.get(sched_key)
+                    doc, path, schedule = await loop.run_in_executor(
+                        self._executor,
+                        remap_compute,
+                        entry.design_doc,
+                        request.workload,
+                        prior[1] if prior is not None else None,
+                    )
+                    self._schedules[sched_key] = (entry.fingerprint, schedule)
+                    self._remap_paths[key] = path
+                    self.counters[f"remap_{path}"] += 1
+                else:
+                    doc = await loop.run_in_executor(
+                        self._executor,
+                        compute_op,
+                        request.op,
+                        entry.design_doc,
+                        request.workload,
+                    )
             except ServeError as exc:
                 # Deterministic negative answers (unmappable, bad
                 # workload) coalesce and memoize like positive ones.
@@ -465,7 +573,7 @@ class OverlayServer:
                 self._memory[key] = outcome
                 return outcome, "compute", queue_wait
         self._memory[key] = ("ok", doc)
-        if self.store is not None:
+        if self.store is not None and request.op != "remap":
             self.store.put(
                 key,
                 doc,
@@ -479,20 +587,162 @@ class OverlayServer:
             )
         return ("ok", doc), "compute", queue_wait
 
+    async def _dispatch_job(self, request: Request) -> Dict[str, Any]:
+        """Run an opaque pickled closure on the worker pool.
+
+        Jobs are neither coalesced nor cached (two identical payloads
+        may close over different state), but they share the admission
+        gate and deadline machinery with compute ops, so a shard under
+        compile load sheds job work the same way.
+        """
+        t_arrival = perf_counter()
+        if self._draining:
+            raise ShuttingDownError("server is draining; no new work")
+        payload = request.options["payload"]  # parse_request enforced it
+        timeout = request.timeout_s or self.config.default_timeout_s
+        self.gate.admit()
+        try:
+            with tracer.span("serve.job"):
+                loop = asyncio.get_running_loop()
+                assert self._executor is not None, "server not started"
+                try:
+                    out = await asyncio.wait_for(
+                        loop.run_in_executor(
+                            self._executor, run_job_payload, payload
+                        ),
+                        timeout=timeout,
+                    )
+                except asyncio.TimeoutError:
+                    raise DeadlineError(
+                        f"deadline of {timeout:.3f}s expired for job"
+                    ) from None
+                except ServeError:
+                    raise
+                except Exception as exc:
+                    raise InternalError(
+                        f"job failed: {type(exc).__name__}: {exc}"
+                    ) from exc
+        finally:
+            self.gate.release()
+        latency = perf_counter() - t_arrival
+        self.latency.record(latency)
+        self.counters["jobs"] += 1
+        self.counters["responses_ok"] += 1
+        self.metrics.emit(
+            "request",
+            op="job",
+            ok=True,
+            latency_s=latency,
+            in_service=self.gate.in_service,
+        )
+        return response_doc(
+            request.id,
+            result={"op": "job", "payload": out},
+            served={
+                "cache": "none",
+                "coalesced": False,
+                "latency_s": latency,
+                "queue_wait_s": 0.0,
+            },
+        )
+
+    def _op_load_overlay(self, request: Request) -> Dict[str, Any]:
+        """Admin op: pull a design into the serving set.
+
+        ``options.ref`` resolves a registry spec (``name``/``name@vN``);
+        ``options.design`` ships an inline design document, optionally
+        served under ``options.name``.  The router uses ``ref`` to warm
+        every shard after a publish.
+        """
+        ref = request.options.get("ref")
+        design = request.options.get("design")
+        if ref is not None:
+            if not isinstance(ref, str) or not ref:
+                raise BadRequestError(
+                    "'options.ref' must be a non-empty string"
+                )
+            entry = self._resolve_overlay(ref)
+        elif design is not None:
+            if not isinstance(design, dict):
+                raise BadRequestError(
+                    "'options.design' must be a design document object"
+                )
+            try:
+                sysadg = sysadg_from_dict(design)
+            except Exception as exc:
+                raise BadRequestError(
+                    f"bad design document: {type(exc).__name__}: {exc}"
+                ) from exc
+            name = request.options.get("name")
+            if name is not None and (
+                not isinstance(name, str) or not name
+            ):
+                raise BadRequestError(
+                    "'options.name' must be a non-empty string"
+                )
+            served_as = self.add_overlay(sysadg, name=name)
+            entry = self.overlays[served_as]
+        else:
+            raise BadRequestError(
+                "load_overlay requires 'options.ref' (registry spec) "
+                "or 'options.design' (inline design document)"
+            )
+        return {
+            "overlay": entry.name,
+            "fingerprint": entry.fingerprint,
+            "base": entry.base_name or entry.name,
+        }
+
     # -- introspection --------------------------------------------------
+    def topology_doc(self) -> Dict[str, Any]:
+        """This server as a (single-shard) cluster map.
+
+        The router overrides this with the real multi-shard topology;
+        a bare shard answering for itself keeps the client code path
+        uniform (``--cluster`` against one server degrades gracefully).
+        """
+        from ..cluster.topology import BackendSpec, Topology
+
+        kind, addr = self.endpoint if self.endpoint else ("none", None)
+        if kind == "unix":
+            spec = BackendSpec(index=0, socket_path=addr)
+        elif kind == "tcp":
+            spec = BackendSpec(index=0, host=addr[0], port=addr[1])
+        else:
+            spec = BackendSpec(index=0)
+        topology = Topology(
+            shards=[spec],
+            overlays={
+                n: e.fingerprint for n, e in self.overlays.items()
+            },
+        )
+        doc = topology.as_doc()
+        doc["role"] = "shard"
+        return doc
+
     def stats_doc(self) -> Dict[str, Any]:
         doc: Dict[str, Any] = {
             "protocol": PROTOCOL_VERSION,
             "overlays": sorted(self.overlays),
+            "overlay_fps": {
+                n: e.fingerprint
+                for n, e in sorted(self.overlays.items())
+            },
             "executor": self._executor_kind,
             "draining": self._draining,
             "counters": dict(self.counters),
             "admission": self.gate.as_dict(),
             "flights": self.flights.stats.as_dict(),
             "latency": self.latency.as_dict(),
+            "schedules": len(self._schedules),
         }
         if self.store is not None:
             doc["store"] = self.store.stats.as_dict()
+        if self.registry is not None:
+            doc["registry"] = {
+                "root": str(self.registry.store.root),
+                "names": self.registry.names(),
+            }
         return doc
 
 

@@ -450,7 +450,9 @@ class TestConsumerGoldens:
 # Socket executor against a live serve worker
 # ----------------------------------------------------------------------
 class TestSocketExecutor:
-    def test_requires_request_fn(self):
+    def test_generic_mode_requires_callable_fn(self):
+        # Without a request_fn the executor ships fn itself through the
+        # serve-side job op — so fn must actually be callable.
         with pytest.raises(ValueError):
             list(SocketJobExecutor().execute(None, [(0, "x")]))
 

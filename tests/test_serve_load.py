@@ -105,7 +105,7 @@ class TestLoadAcceptance:
         memory_hits = stats["counters"]["cache_memory"]
         assert coalesced + memory_hits >= report.requests - computes
         # Served results are byte-identical to the single-shot path.
-        for (op, wl), blob in report.results.items():
+        for (op, wl, _ov), blob in report.results.items():
             ref = single_shot(op, sysadg, wl)
             assert blob == canonical_dumps(ref), (op, wl)
         lat = report.latency.as_dict()
@@ -177,3 +177,85 @@ class TestServeCliParser:
         )
         assert rc == 2
         assert "no such design file" in capsys.readouterr().err
+
+    def test_serve_requires_designs_or_registry(self, capsys):
+        rc = main(["serve", "--socket", "/tmp/s.sock"])
+        assert rc == 2
+        assert "design file or --registry" in capsys.readouterr().err
+
+
+class TestClusterCliParser:
+    def test_submit_cluster_flags(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(
+            ["submit", "load", "--cluster", "--shards", "4",
+             "--overlays", "fam@v1,fam@v2"]
+        )
+        assert args.cluster and args.shards == 4
+        assert args.overlays == "fam@v1,fam@v2"
+        defaults = build_parser().parse_args(["submit", "load"])
+        assert not defaults.cluster and defaults.shards == 1
+
+    def test_submit_accepts_new_ops(self):
+        from repro.cli import build_parser
+
+        for op in ("remap", "simulate_batch", "topology"):
+            assert build_parser().parse_args(["submit", op]).op == op
+
+    def test_cluster_serve_parser(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(
+            ["cluster", "serve", "--run-dir", "/tmp/c",
+             "--registry", "/tmp/r", "--shards", "3"]
+        )
+        assert args.shards == 3 and args.designs == []
+        assert args.func.__name__ == "_cmd_cluster"
+
+    def test_cluster_serve_needs_overlay_source(self, tmp_path, capsys):
+        rc = main(
+            ["cluster", "serve", "--run-dir", str(tmp_path / "run")]
+        )
+        assert rc == 2
+        assert "designs and/or a registry" in capsys.readouterr().err
+
+
+class TestRegistryCli:
+    def test_publish_list_pin_rollback_flow(self, tmp_path, capsys):
+        import json
+
+        root = str(tmp_path / "reg")
+        for tag in ("a", "b", "c"):
+            design = tmp_path / f"{tag}.json"
+            design.write_text(json.dumps({"tag": tag}))
+            rc = main(
+                ["registry", "--root", root, "publish", "fam",
+                 str(design), "--note", tag]
+            )
+            assert rc == 0
+        out = capsys.readouterr().out
+        assert "published fam@v1" in out and "published fam@v3" in out
+
+        assert main(["registry", "--root", root, "list"]) == 0
+        assert "fam: 3 versions, latest v3" in capsys.readouterr().out
+
+        assert main(["registry", "--root", root, "pin", "fam@v2"]) == 0
+        assert "pinned fam -> fam@v2" in capsys.readouterr().out
+
+        assert main(["registry", "--root", root, "show", "fam"]) == 0
+        out = capsys.readouterr().out
+        assert "fam@v2 *" in out  # the pin marker
+
+        assert main(["registry", "--root", root, "rollback", "fam"]) == 0
+        assert "rolled back fam -> fam@v1" in capsys.readouterr().out
+
+        assert main(["registry", "--root", root, "unpin", "fam"]) == 0
+        capsys.readouterr()
+
+    def test_registry_errors_are_clean(self, tmp_path, capsys):
+        root = str(tmp_path / "reg")
+        assert main(["registry", "--root", root, "pin", "ghost@v1"]) == 2
+        assert "error:" in capsys.readouterr().err
+        assert main(["registry", "--root", root, "pin", "ghost"]) == 2
+        assert "name@vN" in capsys.readouterr().err
