@@ -592,12 +592,21 @@ def _simulate_many(design: str, workloads: str) -> int:
 
 
 def _cmd_rtl(args: argparse.Namespace) -> int:
+    from .rtl import get_backend
+
     sysadg = _load_design(args.design)
-    rtl = emit_system(sysadg)
+    try:
+        backend = get_backend(args.backend)
+    except KeyError as exc:
+        raise CliError(str(exc.args[0]) if exc.args else str(exc)) from exc
+    rtl = backend.emit_system(sysadg)
     if args.output:
         with open(args.output, "w") as f:
             f.write(rtl)
-        print(f"wrote {args.output} ({rtl.count(chr(10))} lines)")
+        print(
+            f"wrote {args.output} ({rtl.count(chr(10))} lines, "
+            f"backend {backend.name})"
+        )
     else:
         sys.stdout.write(rtl)
     return 0
@@ -608,6 +617,12 @@ def _cmd_floorplan(args: argparse.Namespace) -> int:
     plan = floorplan(sysadg)
     print(plan.ascii_art())
     print(f"estimated clock: {estimated_frequency(plan):.1f} MHz")
+    if not plan.feasible:
+        print(
+            "error: overlay exceeds XCVU9P capacity (see SLR utilization)",
+            file=sys.stderr,
+        )
+        return 1
     return 0
 
 
@@ -1377,9 +1392,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sim.set_defaults(func=_cmd_simulate)
 
-    rtl = sub.add_parser("rtl", help="emit structural Verilog")
+    rtl = sub.add_parser("rtl", help="emit structural RTL")
     rtl.add_argument("design")
     rtl.add_argument("-o", "--output", default=None)
+    rtl.add_argument(
+        "--backend", default="verilog",
+        help="RTL backend name: 'verilog' (golden-stable structural "
+             "Verilog) or 'migen' (LiteX-flavoured structural Python)",
+    )
     rtl.set_defaults(func=_cmd_rtl)
 
     fp = sub.add_parser("floorplan", help="SLR floorplan + clock estimate")

@@ -61,6 +61,22 @@ KERNEL_INFO: Dict[str, HlsKernelInfo] = {
     "acc-weight": HlsKernelInfo(1, 1),
     "convert-bit": HlsKernelInfo(1, 1),
     "derivative": HlsKernelInfo(1, 1, line_buffer=True),
+    # Scenario families beyond Table IV.  The same code patterns recur:
+    # the fsm kernels carry nested predication (if-conversion keeps II
+    # low only after rewriting), the irregular kernels pay the familiar
+    # variable-trip padding, and the tdm chains pipeline cleanly.
+    "threshold-fsm": HlsKernelInfo(3, 1, cause="nested predication"),
+    "debounce": HlsKernelInfo(2, 1, cause="nested predication"),
+    "edge-count": HlsKernelInfo(2, 1, cause="nested predication"),
+    "horner": HlsKernelInfo(1, 1),
+    "biquad-cascade": HlsKernelInfo(1, 1),
+    "mac-bank": HlsKernelInfo(1, 1),
+    "ragged-rows": HlsKernelInfo(4, 2, cause="variable trip count",
+                                 variable_trip_padding=True),
+    "hash-probe": HlsKernelInfo(6, 2, cause="data-dependent probe chain",
+                                variable_trip_padding=True),
+    "frontier-gather": HlsKernelInfo(4, 2, cause="variable trip count",
+                                     variable_trip_padding=True),
 }
 
 

@@ -1,23 +1,69 @@
-"""RTL backend: structural Verilog emission + FPGA floorplanning."""
+"""RTL backend: multi-backend structural emission + FPGA floorplanning.
 
+:mod:`repro.rtl.ir` builds a backend-neutral structural design from a
+sysADG; named backends (``verilog``, ``migen``) render it.  The legacy
+:func:`emit_system` / :func:`emit_tile` entry points stay as aliases for
+the ``verilog`` backend, whose output is golden-gated byte-identical to
+the pre-refactor emitter.
+"""
+
+from .backends import (
+    BACKENDS,
+    Backend,
+    backend_names,
+    get_backend,
+    register_backend,
+)
 from .floorplan import (
     DRAM_CONTROLLER_XY,
     Floorplan,
+    FloorplanError,
     NUM_SLRS,
     TilePlacement,
     estimated_frequency,
     floorplan,
 )
-from .verilog import emit_system, emit_tile, rtl_stats
+from .ir import (
+    Comment,
+    Design,
+    Instance,
+    Module,
+    Port,
+    Wire,
+    all_modules,
+    build_design,
+    build_tile_design,
+    design_stats,
+)
+from .migen_backend import MigenBackend
+from .verilog import VerilogBackend, emit_system, emit_tile, rtl_stats
 
 __all__ = [
+    "BACKENDS",
+    "Backend",
+    "Comment",
     "DRAM_CONTROLLER_XY",
+    "Design",
     "Floorplan",
+    "FloorplanError",
+    "Instance",
+    "MigenBackend",
+    "Module",
     "NUM_SLRS",
+    "Port",
     "TilePlacement",
+    "VerilogBackend",
+    "Wire",
+    "all_modules",
+    "backend_names",
+    "build_design",
+    "build_tile_design",
+    "design_stats",
     "emit_system",
     "emit_tile",
     "estimated_frequency",
     "floorplan",
+    "get_backend",
+    "register_backend",
     "rtl_stats",
 ]

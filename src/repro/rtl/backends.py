@@ -1,0 +1,82 @@
+"""Named RTL backend registry (mirrors the DSE strategy registry).
+
+A backend renders the backend-neutral :class:`~repro.rtl.ir.Design` into
+one concrete surface syntax.  Backends self-register with
+:func:`register_backend` exactly the way DSE strategies register with
+``repro.search.strategy.register``; :func:`get_backend` resolves a name
+(``repro rtl --backend NAME``), and duplicate registrations raise instead
+of silently shadowing an earlier backend.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Type
+
+from ..adg import ADG, SysADG
+from .ir import Design, Module, build_design, build_tile_design
+
+
+class Backend:
+    """Base class: render the structural IR into one surface syntax."""
+
+    #: Registry name; subclasses override.
+    name = "base"
+    #: Conventional file extension for emitted output.
+    extension = ".v"
+
+    def render_module(self, module: Module) -> str:
+        raise NotImplementedError
+
+    def render_design(self, design: Design) -> str:
+        raise NotImplementedError
+
+    # Convenience entry points shared by the CLI and the tests.
+    def emit_system(self, sysadg: SysADG) -> str:
+        """Render the full SoC for a sysADG."""
+        return self.render_design(build_design(sysadg))
+
+    def emit_tile(self, adg: ADG, tile_index: int = 0) -> str:
+        """Render one tile (all node modules + the tile wrapper)."""
+        return self.render_design(build_tile_design(adg, tile_index))
+
+    def text_inventory(self, text: str) -> Dict[str, int]:
+        """Count module declarations and instantiations in emitted text.
+
+        Each backend knows its own syntax; the cross-backend parity suite
+        checks that every backend reports the same inventory for the same
+        design.
+        """
+        raise NotImplementedError
+
+
+#: name -> backend class; populated by :func:`register_backend`.
+BACKENDS: Dict[str, Type[Backend]] = {}
+
+
+def register_backend(cls: Type[Backend]) -> Type[Backend]:
+    """Class decorator: add a backend to the registry by its ``name``.
+
+    Raises ``ValueError`` on duplicate names — a silently-shadowed
+    backend would corrupt golden tests and resource-model training data.
+    """
+    if cls.name in BACKENDS and BACKENDS[cls.name] is not cls:
+        raise ValueError(
+            f"duplicate RTL backend {cls.name!r}: "
+            f"{BACKENDS[cls.name].__name__} is already registered"
+        )
+    BACKENDS[cls.name] = cls
+    return cls
+
+
+def backend_names() -> List[str]:
+    return sorted(BACKENDS)
+
+
+def get_backend(name: str) -> Backend:
+    """Instantiate a registered backend by name."""
+    if name not in BACKENDS:
+        raise KeyError(
+            f"unknown RTL backend {name!r}; available: "
+            + ", ".join(backend_names())
+        )
+    return BACKENDS[name]()

@@ -37,6 +37,10 @@ class TilePlacement:
         return (dx * dx + dy * dy) ** 0.5
 
 
+class FloorplanError(ValueError):
+    """The overlay does not fit the target device."""
+
+
 @dataclass
 class Floorplan:
     overlay: str
@@ -44,10 +48,17 @@ class Floorplan:
     placements: List[TilePlacement]
     slr_utilization: Dict[int, float]
     die_crossings: int
+    #: False when the overlay demands more LUTs than the device has; the
+    #: placements are then a best-effort sketch (overflow tiles pile onto
+    #: the top die) and the top-die utilization exceeds 100%.
+    feasible: bool = True
 
     def ascii_art(self) -> str:
         """Fig. 12-style sketch: one row of boxes per SLR."""
-        lines = [f"Floorplan: {self.overlay} @ {self.frequency_mhz} MHz"]
+        title = f"Floorplan: {self.overlay} @ {self.frequency_mhz} MHz"
+        if not self.feasible:
+            title += "  ** INFEASIBLE: exceeds device capacity **"
+        lines = [title]
         for slr in reversed(range(NUM_SLRS)):
             tiles = [p for p in self.placements if p.slr == slr]
             boxes = " ".join(f"[T{p.tile:02d}]" for p in tiles) or "(empty)"
@@ -59,45 +70,70 @@ class Floorplan:
         return "\n".join(lines)
 
 
-def floorplan(sysadg: SysADG) -> Floorplan:
+def floorplan(sysadg: SysADG, strict: bool = False) -> Floorplan:
     """Greedy SLR packing: tiles fill the bottom die (nearest DRAM) first.
 
     Tiles are identical, so the packer simply assigns them to SLRs in
     order of remaining capacity, lowest die first; positions within an SLR
     spread across the x axis.
+
+    An overlay that demands more LUTs than the XCVU9P has cannot be
+    packed: the returned plan is marked ``feasible=False`` (overflow
+    tiles pile onto the top die, whose reported utilization then exceeds
+    100%), or, with ``strict=True``, a :class:`FloorplanError` is raised.
     """
     est = AnalyticEstimator()
     tile_lut = est.tile(sysadg.adg).lut + 24_000  # + control core
     n = sysadg.params.num_tiles
-    placements: List[TilePlacement] = []
+    capacity = NUM_SLRS * SLR_LUTS
+    feasible = n * tile_lut <= capacity
+    if strict and not feasible:
+        raise FloorplanError(
+            f"overlay {sysadg.name!r} needs {n * tile_lut:,.0f} LUTs but "
+            f"the XCVU9P has {capacity:,.0f} across {NUM_SLRS} SLRs"
+        )
     slr_load = {s: 0.0 for s in range(NUM_SLRS)}
     # Linear packing through the stacked dies: tiles may straddle an SLR
     # boundary (as the paper's quad-tile floorplan does); a straddling tile
     # is attributed to the die holding its center of mass.
     offset = 0.0
     straddles = 0
-    per_slr_count: Dict[int, int] = {s: 0 for s in range(NUM_SLRS)}
+    assigned: List[int] = []
     for t in range(n):
         start, end = offset, offset + tile_lut
         center = (start + end) / 2.0
+        # Overflow tiles (center past the top die) sit on the top SLR so
+        # the plan stays renderable, but the demand is not silently
+        # dropped: their load lands on SLR2 and the plan is infeasible.
         slr = min(NUM_SLRS - 1, int(center / SLR_LUTS))
         if int(start / SLR_LUTS) != int(max(start, end - 1) / SLR_LUTS):
             straddles += 1
         for s in range(NUM_SLRS):
             lo, hi = s * SLR_LUTS, (s + 1) * SLR_LUTS
+            if s == NUM_SLRS - 1:
+                hi = float("inf")  # overflow demand counts against SLR2
             slr_load[s] += max(0.0, min(end, hi) - max(start, lo))
-        idx = per_slr_count[slr]
-        per_slr_count[slr] += 1
+        assigned.append(slr)
+        offset = end
+    # Positions spread across each die's actual occupants, so x stays in
+    # the documented [0, 1) whatever the packing looks like.
+    per_slr_total: Dict[int, int] = {s: 0 for s in range(NUM_SLRS)}
+    for slr in assigned:
+        per_slr_total[slr] += 1
+    per_slr_seen: Dict[int, int] = {s: 0 for s in range(NUM_SLRS)}
+    placements: List[TilePlacement] = []
+    for t, slr in enumerate(assigned):
+        idx = per_slr_seen[slr]
+        per_slr_seen[slr] += 1
         placements.append(
             TilePlacement(
                 tile=t,
                 slr=slr,
-                x=(idx + 0.5) / max(1, _expected_per_slr(n)),
+                x=(idx + 0.5) / per_slr_total[slr],
                 y=slr + 0.5,
                 lut=tile_lut,
             )
         )
-        offset = end
     # NoC and L2 sit with the DRAM controller on SLR0; every tile on a
     # higher die contributes one die crossing on its memory path, and a
     # straddling tile crosses within its own datapath.
@@ -108,13 +144,8 @@ def floorplan(sysadg: SysADG) -> Floorplan:
         placements=placements,
         slr_utilization={s: slr_load[s] / SLR_LUTS for s in range(NUM_SLRS)},
         die_crossings=crossings,
+        feasible=feasible,
     )
-
-
-def _expected_per_slr(n: int) -> int:
-    import math
-
-    return max(1, math.ceil(n / NUM_SLRS))
 
 
 def estimated_frequency(plan: Floorplan, base_mhz: float = 115.0) -> float:

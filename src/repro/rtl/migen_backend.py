@@ -1,0 +1,137 @@
+"""The ``migen`` backend: LiteX-flavoured structural Python netlists.
+
+Renders the same :class:`~repro.rtl.ir.Design` the Verilog backend
+consumes, but as a migen/LiteX-style gateware source file: one
+``Module`` subclass per hardware module, ports and interconnect as
+``Signal``\\ s, generated submodules attached via ``self.submodules`` and
+external blackboxes (Rocket cores, the TileLink crossbar, the L2) as
+``self.specials += Instance(...)`` — the idiom of ``litex/gateware``
+modules.  Clock and reset are implicit (migen's ``sys`` clock domain),
+so the IR's ``clk``/``rst`` ports are dropped rather than rendered.
+
+The output is deterministic text derived purely from the IR; it is not
+executed by this repository (migen is not a dependency) — it exists so
+resource-model training data and floorplanning inputs can come from more
+than one emitter shape.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List
+
+from .backends import Backend, register_backend
+from .ir import Comment, Design, Instance, Module, Wire, all_modules
+
+
+def class_name(module_name: str) -> str:
+    """``overgen_tile_0`` -> ``OvergenTile0`` (migen class naming)."""
+    return "".join(part.capitalize() for part in module_name.split("_"))
+
+
+def _signal(width) -> str:
+    if width is None or width == 1:
+        return "Signal()"
+    return f"Signal({width})"
+
+
+def _comment_text(line: str) -> str:
+    """Strip a Verilog-style ``// `` leader off an IR header line."""
+    return line[3:] if line.startswith("// ") else line.lstrip("/ ")
+
+
+@register_backend
+class MigenBackend(Backend):
+    """Render the IR as a migen/LiteX-flavoured structural netlist."""
+
+    name = "migen"
+    extension = ".py"
+
+    def render_module(self, module: Module, generated=()) -> str:
+        generated = set(generated)
+        lines: List[str] = []
+        for line in module.header:
+            if line:
+                lines.append(f"# {_comment_text(line)}")
+        decl = f"class {class_name(module.name)}(Module):"
+        lines.append(decl)
+        doc = module.decl_comment or f"{module.kind} {module.name}"
+        lines.append(f'    """{doc}"""')
+        lines.append("")
+        lines.append("    def __init__(self):")
+        body: List[str] = []
+        for port in module.ports:
+            if port.name in ("clk", "rst"):
+                continue  # implicit sys clock domain
+            if port.group:
+                body.append(f"        # {port.group}")
+            body.append(
+                f"        self.{port.name} = {_signal(port.width)}"
+                f"  # {port.direction}"
+            )
+        for item in module.body:
+            if isinstance(item, Comment):
+                body.append(f"        # {item.text}")
+            elif isinstance(item, Wire):
+                trailer = f"  # {item.comment}" if item.comment else ""
+                body.append(
+                    f"        self.{item.name} = "
+                    f"{_signal(item.width)}{trailer}"
+                )
+            elif isinstance(item, Instance):
+                if item.module in generated:
+                    body.append(
+                        f"        self.submodules.{item.name} = "
+                        f"{class_name(item.module)}()"
+                    )
+                else:
+                    params = "".join(
+                        f", p_{k}={v}" for k, v in item.params
+                    )
+                    body.append(
+                        f"        self.specials += Instance("
+                        f'"{item.module}", name="{item.name}"{params})'
+                    )
+        if not body:
+            body.append("        pass")
+        lines.extend(body)
+        return "\n".join(lines)
+
+    def render_design(self, design: Design) -> str:
+        lines: List[str] = []
+        if design.banner:
+            for line in design.banner:
+                lines.append(f"# {_comment_text(line)}")
+        else:
+            lines.append(f"# OverGen tile netlist: {design.name}")
+        lines.append(f"# {_comment_text(design.tile_banner)}")
+        lines.append("#")
+        lines.append("# migen/LiteX-flavoured structural netlist generated "
+                     "by repro.rtl (backend: migen).")
+        lines.append("# clk/rst are implicit (sys clock domain); external "
+                     "blocks are Instance specials.")
+        lines.append("")
+        lines.append("from migen import Instance, Module, Signal")
+        lines.append("")
+        generated = {m.name for m in all_modules(design)}
+        for module in all_modules(design):
+            lines.append("")
+            lines.append(self.render_module(module, generated=generated))
+            lines.append("")
+        top = design.top if design.top is not None else design.tile
+        lines.append("")
+        lines.append(f"TOP = {class_name(top.name)}")
+        lines.append("")
+        return "\n".join(lines)
+
+    def text_inventory(self, text: str) -> Dict[str, int]:
+        return {
+            "modules": len(re.findall(r"(?m)^class \w+\(Module\):", text)),
+            "instances": len(
+                re.findall(
+                    r"(?m)^        self\.(?:submodules\.\w+ = "
+                    r"|specials \+= Instance\()",
+                    text,
+                )
+            ),
+        }

@@ -1,4 +1,4 @@
-"""Structural Verilog emission for a sysADG.
+"""The ``verilog`` backend: structural Verilog rendering of the RTL IR.
 
 Stands in for the Chisel hardware generators of DSAGEN/ChipYard: every ADG
 node becomes a module instance, links become wires, and the system level
@@ -7,234 +7,115 @@ output is synthesizable-shaped structural Verilog (module decls + wiring);
 behavioral bodies are generated as documented stubs, since timing/area come
 from the resource model, not from simulation of this text.
 
-The emitter is deterministic, so golden-file tests and content hashes are
-stable across runs.
+This backend is the legacy emitter re-based onto
+:mod:`repro.rtl.ir`: its output is golden-gated byte-identical to the
+pre-refactor string emitter (``tests/golden/*.v``), so resource-model
+training data and content hashes are unchanged.  The module-level
+:func:`emit_system` / :func:`emit_tile` / :func:`rtl_stats` functions
+remain the stable public API.
 """
 
 from __future__ import annotations
 
+import re
 from typing import Dict, List
 
-from ..adg import (
-    ADG,
-    AdgNode,
-    DmaEngine,
-    GenerateEngine,
-    InputPortHW,
-    NodeKind,
-    OutputPortHW,
-    ProcessingElement,
-    RecurrenceEngine,
-    RegisterEngine,
-    SpadEngine,
-    SysADG,
-    Switch,
-)
+from ..adg import ADG, SysADG
+from .backends import Backend, register_backend
+from .ir import Comment, Design, Instance, Module, Wire
 
 
-def _module_name(node: AdgNode) -> str:
-    return f"{node.kind.value}_{node.node_id}"
+@register_backend
+class VerilogBackend(Backend):
+    """Render the IR as structural Verilog, byte-compatible with the
+    original single-string emitter."""
 
+    name = "verilog"
+    extension = ".v"
 
-def _width_bits(node: AdgNode) -> int:
-    if isinstance(node, (ProcessingElement, Switch)):
-        return node.width_bits
-    if isinstance(node, (InputPortHW, OutputPortHW)):
-        return node.width_bytes * 8
-    return 64
+    def render_module(self, module: Module) -> str:
+        lines: List[str] = list(module.header)
+        decl = f"module {module.name} ("
+        if module.decl_comment:
+            decl += f"  // {module.decl_comment}"
+        lines.append(decl)
+        last = len(module.ports) - 1
+        for i, port in enumerate(module.ports):
+            if port.group:
+                lines.append(f"  // {port.group}")
+            keyword = "input " if port.direction == "input" else "output"
+            rng = "" if port.width is None else f"[{port.width - 1}:0] "
+            comma = "," if i < last else ""
+            lines.append(f"  {keyword} wire {rng}{port.name}{comma}")
+        lines.append(");")
+        for item in module.body:
+            if isinstance(item, Comment):
+                lines.append(f"  // {item.text}")
+            elif isinstance(item, Wire):
+                trailer = f"  // {item.comment}" if item.comment else ""
+                lines.append(
+                    f"  wire [{item.width - 1}:0] {item.name};{trailer}"
+                )
+            elif isinstance(item, Instance):
+                if item.params:
+                    params = ", ".join(
+                        f".{k}({v})" for k, v in item.params
+                    )
+                    lines.append(
+                        f"  {item.module} #({params}) {item.name} ();"
+                    )
+                else:
+                    lines.append(
+                        f"  {item.module} {item.name} "
+                        "(.clk(clk), .rst(rst) /* ... */);"
+                    )
+        lines.append("endmodule")
+        return "\n".join(lines)
 
+    def render_design(self, design: Design) -> str:
+        # Leaf modules carry a trailing newline so the joined stream has
+        # a blank line between them — the legacy emitter's chunk shape.
+        parts: List[str] = [design.tile_banner]
+        for module in design.modules:
+            parts.append(self.render_module(module) + "\n")
+        parts.append(self.render_module(design.tile))
+        tile_text = "\n".join(parts)
+        if design.top is None:
+            return tile_text
+        header = "\n".join(design.banner) + "\n"
+        top = self.render_module(design.top)
+        return header + tile_text + "\n" + top + "\n"
 
-def emit_pe(pe: ProcessingElement) -> str:
-    caps = ", ".join(sorted(c.name for c in pe.caps)) or "none"
-    ports = []
-    for i in range(3):
-        ports.append(f"  input  wire [{pe.width_bits-1}:0] operand{i},")
-        ports.append(f"  input  wire operand{i}_valid,")
-    return f"""// Processing element: caps = {caps}
-// delay FIFOs: depth {pe.max_delay_fifo} per operand
-module pe_{pe.node_id} (
-  input  wire clk,
-  input  wire rst,
-{chr(10).join(ports)}
-  output wire [{pe.width_bits-1}:0] result,
-  output wire result_valid
-);
-  // Dedicated-dataflow datapath (configured instruction; fires when all
-  // operands are valid). Functional units: {caps}.
-endmodule
-"""
-
-
-def emit_switch(adg: ADG, sw: Switch) -> str:
-    n_in = max(1, len(adg.predecessors(sw.node_id)))
-    n_out = max(1, len(adg.successors(sw.node_id)))
-    return f"""// Circuit-switched operand router ({n_in} in x {n_out} out)
-module sw_{sw.node_id} (
-  input  wire clk,
-  input  wire rst,
-  input  wire [{n_in * sw.width_bits - 1}:0] in_bus,
-  input  wire [{n_in - 1}:0] in_valid,
-  output wire [{n_out * sw.width_bits - 1}:0] out_bus,
-  output wire [{n_out - 1}:0] out_valid,
-  input  wire [{n_in * n_out - 1}:0] route_config
-);
-  // Statically-configured crossbar: each output selects one input.
-endmodule
-"""
-
-
-def emit_engine(node: AdgNode) -> str:
-    name = _module_name(node)
-    detail = ""
-    if isinstance(node, DmaEngine):
-        detail = (
-            f"// bandwidth {node.bandwidth_bytes} B/cyc, "
-            f"indirect={node.indirect}, ROB {node.rob_entries} entries"
-        )
-    elif isinstance(node, SpadEngine):
-        detail = (
-            f"// capacity {node.capacity_bytes} B, "
-            f"rd/wr {node.read_bandwidth}/{node.write_bandwidth} B/cyc, "
-            f"indirect={node.indirect}"
-        )
-    elif isinstance(node, RecurrenceEngine):
-        detail = f"// buffer {node.buffer_bytes} B"
-    return f"""{detail}
-module {name} (
-  input  wire clk,
-  input  wire rst,
-  // stream-dispatcher command interface
-  input  wire [255:0] stream_entry,
-  input  wire stream_entry_valid,
-  output wire stream_done,
-  // memory-side data
-  output wire [511:0] rd_data,
-  output wire rd_valid,
-  input  wire [511:0] wr_data,
-  input  wire wr_valid
-);
-  // Stream Issue -> Stream Request -> Stream Generation pipeline with
-  // one-hot stream-table bypass (Fig. 11).
-endmodule
-"""
-
-
-def emit_port(node: AdgNode) -> str:
-    width = _width_bits(node)
-    name = _module_name(node)
-    direction = "input" if isinstance(node, InputPortHW) else "output"
-    extras = ""
-    if isinstance(node, InputPortHW):
-        extras = (
-            f"// padding={node.supports_padding} meta={node.supports_meta} "
-            f"fifo_depth={node.fifo_depth}"
-        )
-    return f"""{extras}
-module {name} (  // vector {direction} port, {width // 8} B/cyc
-  input  wire clk,
-  input  wire rst,
-  input  wire [{width - 1}:0] enq_data,
-  input  wire enq_valid,
-  output wire enq_ready,
-  output wire [{width - 1}:0] deq_data,
-  output wire deq_valid,
-  input  wire deq_ready
-);
-endmodule
-"""
+    def text_inventory(self, text: str) -> Dict[str, int]:
+        return {
+            "modules": len(re.findall(r"(?m)^module ", text)),
+            "instances": len(
+                re.findall(r"(?m)^  \w+ (?:#\(.*\) )?u_\w+ \(", text)
+            ),
+        }
 
 
 def emit_tile(adg: ADG, tile_index: int = 0) -> str:
     """Emit all of one tile's modules plus the tile wrapper."""
-    chunks: List[str] = [
-        f"// ---- OverGen tile {tile_index}: "
-        f"{len(adg.pes)} PEs, {len(adg.switches)} switches ----"
-    ]
-    for pe in adg.pes:
-        chunks.append(emit_pe(pe))
-    for sw in adg.switches:
-        chunks.append(emit_switch(adg, sw))
-    for port in adg.in_ports + adg.out_ports:
-        chunks.append(emit_port(port))
-    for engine in adg.engines:
-        chunks.append(emit_engine(engine))
-
-    wires = []
-    instances = []
-    for src, dst in adg.links():
-        src_node, dst_node = adg.node(src), adg.node(dst)
-        width = min(_width_bits(src_node), _width_bits(dst_node))
-        wires.append(
-            f"  wire [{width - 1}:0] link_{src}_{dst};"
-            f"  // {src_node.name} -> {dst_node.name}"
-        )
-    for node in sorted(adg.nodes(), key=lambda n: n.node_id):
-        name = _module_name(node)
-        instances.append(f"  {name} u_{name} (.clk(clk), .rst(rst) /* ... */);")
-    tile = "\n".join(
-        [
-            f"module overgen_tile_{tile_index} (",
-            "  input  wire clk,",
-            "  input  wire rst,",
-            "  // RoCC command interface from the control core",
-            "  input  wire [63:0] rocc_cmd,",
-            "  input  wire rocc_cmd_valid,",
-            "  // TileLink memory interface",
-            "  output wire [511:0] tl_a,",
-            "  input  wire [511:0] tl_d",
-            ");",
-            "  // stream dispatcher",
-            "  wire [255:0] dispatch_bus;",
-            *wires,
-            *instances,
-            "endmodule",
-        ]
-    )
-    chunks.append(tile)
-    return "\n".join(chunks)
+    return VerilogBackend().emit_tile(adg, tile_index)
 
 
 def emit_system(sysadg: SysADG) -> str:
     """Emit the full SoC: tiles + cores + NoC + L2 (Fig. 8 structure)."""
-    p = sysadg.params
-    header = f"""// =====================================================================
-// OverGen overlay: {sysadg.name}
-// tiles={p.num_tiles} l2={p.l2_kib}KiB x {p.l2_banks} banks
-// noc={p.noc_bytes_per_cycle}B/cyc dram_channels={p.dram_channels}
-// target: XCVU9P @ {p.frequency_mhz} MHz
-// =====================================================================
-"""
-    tile_rtl = emit_tile(sysadg.adg)
-    instances = []
-    for t in range(p.num_tiles):
-        instances.append(
-            f"  overgen_tile_0 u_tile_{t} (.clk(clk), .rst(rst) /* ... */);\n"
-            f"  rocket_core u_core_{t} (.clk(clk), .rst(rst) /* ... */);"
-        )
-    top = "\n".join(
-        [
-            "module overgen_system (",
-            "  input  wire clk,",
-            "  input  wire rst,",
-            "  // AXI4 DRAM channel(s)",
-            f"  output wire [{p.dram_channels * 512 - 1}:0] axi_mem",
-            ");",
-            f"  // crossbar NoC: {p.num_tiles} tiles + L2 + peripherals",
-            f"  tilelink_xbar #(.ENDPOINTS({p.num_tiles + 2}), "
-            f".WIDTH({p.noc_bytes_per_cycle * 8})) u_noc ();",
-            f"  inclusive_l2 #(.KIB({p.l2_kib}), .BANKS({p.l2_banks})) u_l2 ();",
-            *instances,
-            "endmodule",
-        ]
-    )
-    return header + tile_rtl + "\n" + top + "\n"
+    return VerilogBackend().emit_system(sysadg)
+
+
+#: Standalone wire declarations — module-body wires, not the ``input  wire``
+#: / ``output wire`` port declarations (which also contain ``" wire "``).
+_WIRE_DECL = re.compile(r"^\s*wire\b", re.MULTILINE)
 
 
 def rtl_stats(rtl: str) -> Dict[str, int]:
     """Quick structural statistics of emitted RTL (for tests)."""
     return {
-        "modules": rtl.count("\nmodule ") + (1 if rtl.startswith("module") else 0),
+        "modules": rtl.count("\nmodule ")
+        + (1 if rtl.startswith("module") else 0),
         "endmodules": rtl.count("endmodule"),
-        "wires": rtl.count("  wire "),
+        "wires": len(_WIRE_DECL.findall(rtl)),
         "lines": rtl.count("\n") + 1,
     }

@@ -18,6 +18,7 @@ one-off validation into a regression-tested property:
 
 from .corpus import DivergenceCorpus, case_key
 from .generators import (
+    PROGRAM_FAMILIES,
     FuzzCase,
     GeneratorError,
     ProgramSpec,
@@ -89,6 +90,7 @@ __all__ = [
     "fuzz_run",
     "make_failure_key",
     "promote_failures",
+    "PROGRAM_FAMILIES",
     "random_case",
     "random_program",
     "replay_promoted",

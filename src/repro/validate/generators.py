@@ -28,9 +28,11 @@ from ..ir import (
     BinOp,
     Const,
     Op,
+    Select,
     Workload,
     WorkloadBuilder,
     WorkloadError,
+    compare,
     dtype_from_name,
 )
 
@@ -38,6 +40,14 @@ from ..ir import (
 #: enough to cover the float/int capability split without exploding the
 #: per-case search space).
 GENERATOR_DTYPES = ("f64", "i64", "i16")
+
+#: Scenario families the program generator draws from, mirroring the
+#: workload suites: plain affine nests, predicated control-dominated
+#: statements (fsm), deep mul-add chains (tdm), and data-dependent
+#: trip counts (irregular).  Affine stays the most common draw.
+PROGRAM_FAMILIES = ("affine", "fsm", "tdm", "irregular")
+
+_FAMILY_DRAW = ("affine", "affine", "affine", "fsm", "tdm", "irregular")
 
 #: Binary operators usable between expression terms.
 TERM_OPS = ("add", "sub", "mul", "max", "min")
@@ -107,9 +117,12 @@ class StatementSpec:
     terms: Tuple[TermSpec, ...]
     ops: Tuple[str, ...]                         # len(terms) - 1 entries
     reduction: Optional[str] = None
+    #: fsm-family predication: when set, the statement's value is
+    #: ``pred > 0 ? expr : 0`` (if-converted to ``CMP`` + ``SELECT``).
+    predicate: Optional[TermSpec] = None
 
     def to_dict(self) -> Dict[str, Any]:
-        return {
+        doc = {
             "target_array": self.target_array,
             "target_coeffs": [list(c) for c in self.target_coeffs],
             "target_const": self.target_const,
@@ -117,9 +130,15 @@ class StatementSpec:
             "ops": list(self.ops),
             "reduction": self.reduction,
         }
+        # Emitted only when set, so pre-family corpus entries (and their
+        # content-addressed fingerprints) are byte-identical.
+        if self.predicate is not None:
+            doc["predicate"] = self.predicate.to_dict()
+        return doc
 
     @staticmethod
     def from_dict(doc: Dict[str, Any]) -> "StatementSpec":
+        predicate = doc.get("predicate")
         return StatementSpec(
             target_array=doc["target_array"],
             target_coeffs=tuple((v, int(c)) for v, c in doc["target_coeffs"]),
@@ -127,6 +146,9 @@ class StatementSpec:
             terms=tuple(TermSpec.from_dict(t) for t in doc["terms"]),
             ops=tuple(doc["ops"]),
             reduction=doc.get("reduction"),
+            predicate=(
+                TermSpec.from_dict(predicate) if predicate is not None else None
+            ),
         )
 
 
@@ -145,15 +167,24 @@ class ProgramSpec:
     dtype: str
     loops: Tuple[Tuple[str, int], ...]           # (var, trip), outer first
     statement: StatementSpec
+    #: irregular-family loops whose trip count is data-dependent at
+    #: runtime (the model/sim use the halved effective trip).
+    variable_trips: Tuple[str, ...] = ()
 
     # ------------------------------------------------------------------
     def loop_vars(self) -> Tuple[str, ...]:
         return tuple(v for v, _ in self.loops)
 
+    def _all_terms(self) -> Tuple[TermSpec, ...]:
+        terms = self.statement.terms
+        if self.statement.predicate is not None:
+            terms = terms + (self.statement.predicate,)
+        return terms
+
     def array_names(self) -> Tuple[str, ...]:
         """Referenced arrays, target first, deterministic order."""
         names: List[str] = [self.statement.target_array]
-        for term in self.statement.terms:
+        for term in self._all_terms():
             if term.kind == "load" and term.array not in names:
                 names.append(term.array)
         return tuple(names)
@@ -170,7 +201,7 @@ class ProgramSpec:
         stmt = self.statement
         if stmt.target_array == name:
             top = max(top, self._max_index(stmt.target_coeffs, stmt.target_const))
-        for term in stmt.terms:
+        for term in self._all_terms():
             if term.kind == "load" and term.array == name:
                 top = max(top, self._max_index(term.coeffs, term.const))
         return top + 1
@@ -187,7 +218,13 @@ class ProgramSpec:
         for name in self.array_names():
             declared[name] = wb.array(name, self.array_size(name))
         for var, trip in self.loops:
-            wb.loop(var, trip)
+            if var in self.variable_trips:
+                # Data-dependent trip counts serialize the loop (the
+                # stream length is only known at runtime), matching how
+                # every hand-written irregular workload declares them.
+                wb.loop(var, trip, variable_trip=True, parallel=False)
+            else:
+                wb.loop(var, trip)
         stmt = self.statement
         expr = self._term_expr(declared, stmt.terms[0])
         for op_name, term in zip(stmt.ops, stmt.terms[1:]):
@@ -195,6 +232,9 @@ class ProgramSpec:
             if op is None:
                 raise GeneratorError(f"unknown operator {op_name!r}")
             expr = BinOp(op, expr, self._term_expr(declared, term))
+        if stmt.predicate is not None:
+            pred = self._term_expr(declared, stmt.predicate)
+            expr = Select(compare(pred, Const(0.0)), expr, Const(0.0))
         target = declared[stmt.target_array][
             Affine.of(dict(stmt.target_coeffs), stmt.target_const)
         ]
@@ -223,12 +263,16 @@ class ProgramSpec:
 
     # ------------------------------------------------------------------
     def to_dict(self) -> Dict[str, Any]:
-        return {
+        doc = {
             "name": self.name,
             "dtype": self.dtype,
             "loops": [list(l) for l in self.loops],
             "statement": self.statement.to_dict(),
         }
+        # Emitted only when set (see StatementSpec.to_dict).
+        if self.variable_trips:
+            doc["variable_trips"] = list(self.variable_trips)
+        return doc
 
     @staticmethod
     def from_dict(doc: Dict[str, Any]) -> "ProgramSpec":
@@ -237,6 +281,7 @@ class ProgramSpec:
             dtype=doc["dtype"],
             loops=tuple((v, int(t)) for v, t in doc["loops"]),
             statement=StatementSpec.from_dict(doc["statement"]),
+            variable_trips=tuple(doc.get("variable_trips", ())),
         )
 
 
@@ -290,6 +335,8 @@ def case_size(case: FuzzCase) -> int:
         + sum(t for _, t in program.loops)
         + len(program.statement.terms) * 16
         + (16 if program.statement.reduction else 0)
+        + (16 if program.statement.predicate else 0)
+        + len(program.variable_trips) * 8
         + len(case.adg_doc.get("nodes", ())) * 4
         + (8 if case.params else 0)
     )
@@ -319,21 +366,41 @@ def _random_index(
     return tuple(sorted(coeffs.items())), const
 
 
-def random_program(rng: random.Random, name: str = "fuzz") -> ProgramSpec:
-    """Draw one random-but-legal affine loop-nest program.
+def random_program(
+    rng: random.Random,
+    name: str = "fuzz",
+    family: Optional[str] = None,
+) -> ProgramSpec:
+    """Draw one random-but-legal loop-nest program.
 
-    Trip products are capped (≤ ~1k innermost iterations) so the
-    cycle-level simulation of every generated case stays fast.
+    ``family`` picks a scenario family (:data:`PROGRAM_FAMILIES`); by
+    default one is drawn from the stream, with plain affine nests the
+    most common.  Trip products are capped (≤ ~1k innermost iterations)
+    so the cycle-level simulation of every generated case stays fast.
     """
+    if family is None:
+        family = rng.choice(_FAMILY_DRAW)
+    if family not in PROGRAM_FAMILIES:
+        raise GeneratorError(f"unknown program family {family!r}")
     dtype = rng.choice(GENERATOR_DTYPES)
     depth = rng.choice((1, 2, 2, 3))
+    if family == "irregular" and depth == 1:
+        depth = 2  # the variable-trip loop needs an outer accumulator loop
     trips = [rng.choice((4, 8, 16)) for _ in range(depth)]
     while _product(trips) > 1024:
         trips[0] = max(2, trips[0] // 2)
     loops = tuple((f"v{i}", trips[i]) for i in range(depth))
     loop_vars = tuple(v for v, _ in loops)
+    variable_trips: Tuple[str, ...] = ()
+    if family == "irregular":
+        # The innermost trip is data-dependent, like every hand-written
+        # irregular workload (crs, ragged-rows, hash-probe, ...).
+        variable_trips = (loop_vars[-1],)
 
-    n_terms = rng.choice((1, 2, 2, 3))
+    if family == "tdm":
+        n_terms = rng.choice((4, 5, 6))  # deep shared-MAC chains
+    else:
+        n_terms = rng.choice((1, 2, 2, 3))
     n_source_arrays = rng.choice((1, 2))
     sources = [f"a{i}" for i in range(n_source_arrays)]
     terms: List[TermSpec] = []
@@ -357,10 +424,29 @@ def random_program(rng: random.Random, name: str = "fuzz") -> ProgramSpec:
         terms[0] = TermSpec(
             kind="load", array=sources[0], coeffs=coeffs, const=const
         )
-    ops = tuple(rng.choice(TERM_OPS) for _ in range(len(terms) - 1))
+    if family == "tdm":
+        # Multiply-accumulate texture: alternating mul/add chains.
+        ops = tuple(
+            ("mul" if i % 2 == 0 else rng.choice(("add", "add", "sub")))
+            for i in range(len(terms) - 1)
+        )
+    else:
+        ops = tuple(rng.choice(TERM_OPS) for _ in range(len(terms) - 1))
+
+    predicate: Optional[TermSpec] = None
+    if family == "fsm":
+        coeffs, const = _random_index(rng, loop_vars)
+        predicate = TermSpec(
+            kind="load",
+            array=rng.choice(sources),
+            coeffs=coeffs,
+            const=const,
+        )
 
     reduction: Optional[str] = None
-    if rng.random() < 0.3 and depth >= 2:
+    if family == "irregular" or (
+        family != "fsm" and rng.random() < 0.3 and depth >= 2
+    ):
         # Reduce over the innermost loop: target indexed by outer vars only,
         # row-major so each outer iteration owns a distinct accumulator.
         reduction = rng.choice(REDUCTION_OPS)
@@ -389,8 +475,15 @@ def random_program(rng: random.Random, name: str = "fuzz") -> ProgramSpec:
         terms=tuple(terms),
         ops=ops,
         reduction=reduction,
+        predicate=predicate,
     )
-    return ProgramSpec(name=name, dtype=dtype, loops=loops, statement=statement)
+    return ProgramSpec(
+        name=name,
+        dtype=dtype,
+        loops=loops,
+        statement=statement,
+        variable_trips=variable_trips,
+    )
 
 
 def _product(values) -> int:
@@ -435,18 +528,20 @@ def random_case(
     seed: str,
     max_mutations: int = 6,
     name: str = "fuzz",
+    family: Optional[str] = None,
 ) -> FuzzCase:
     """Draw one complete fuzz case from a string seed (fully deterministic).
 
     Programs that happen not to lower (e.g. a term chain the lowerer cannot
     slice) are redrawn from the same stream, so every returned case is at
-    least compilable.
+    least compilable.  ``family`` pins the program's scenario family; by
+    default each redraw picks its own.
     """
     from ..compiler import LoweringError, generate_variants
 
     rng = random.Random(seed)
     for _ in range(16):
-        program = random_program(rng, name=name)
+        program = random_program(rng, name=name, family=family)
         try:
             workload = program.build()
             generate_variants(workload)

@@ -8,6 +8,7 @@ reductions and keeps any that preserve the failure key:
 * drop a whole loop level (the dropped induction variable is pinned to 0),
 * halve a trip count,
 * drop expression terms (and the reduction marker),
+* drop the statement predicate / variable-trip markers (family features),
 * prune ADG nodes one at a time,
 * reset system parameters to their defaults.
 
@@ -19,11 +20,11 @@ divergence corpus stores.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Callable, Iterator, List, Optional
 
 from ..adg import adg_to_dict
-from .generators import FuzzCase, ProgramSpec, StatementSpec, case_size
+from .generators import FuzzCase, ProgramSpec, case_size
 
 #: Returns a stable failure identifier, or None when the case passes.
 FailureKey = Callable[[FuzzCase], Optional[str]]
@@ -53,30 +54,33 @@ def _drop_loops(program: ProgramSpec) -> Iterator[ProgramSpec]:
         var = program.loops[i][0]
         loops = program.loops[:i] + program.loops[i + 1:]
         stmt = program.statement
-        new_stmt = StatementSpec(
-            target_array=stmt.target_array,
+        new_stmt = replace(
+            stmt,
             target_coeffs=_without_var(stmt.target_coeffs, var),
-            target_const=stmt.target_const,
             terms=tuple(
                 t if t.kind == "const"
-                else type(t)(
-                    kind="load",
-                    array=t.array,
-                    coeffs=_without_var(t.coeffs, var),
-                    const=t.const,
-                )
+                else replace(t, coeffs=_without_var(t.coeffs, var))
                 for t in stmt.terms
             ),
-            ops=stmt.ops,
+            predicate=(
+                None
+                if stmt.predicate is None or stmt.predicate.kind == "const"
+                else replace(
+                    stmt.predicate,
+                    coeffs=_without_var(stmt.predicate.coeffs, var),
+                )
+            ),
             # A reduction over a now-single-level nest may be illegal;
             # keep it only while more than one loop remains.
             reduction=stmt.reduction if len(loops) > 1 else None,
         )
-        yield ProgramSpec(
-            name=program.name,
-            dtype=program.dtype,
+        yield replace(
+            program,
             loops=loops,
             statement=new_stmt,
+            variable_trips=tuple(
+                v for v in program.variable_trips if v != var
+            ),
         )
 
 
@@ -89,31 +93,14 @@ def _halve_trips(program: ProgramSpec) -> Iterator[ProgramSpec]:
             + ((var, max(2, trip // 2)),)
             + program.loops[i + 1:]
         )
-        yield ProgramSpec(
-            name=program.name,
-            dtype=program.dtype,
-            loops=loops,
-            statement=program.statement,
-        )
+        yield replace(program, loops=loops)
 
 
 def _drop_terms(program: ProgramSpec) -> Iterator[ProgramSpec]:
     stmt = program.statement
     if len(stmt.terms) <= 1:
         if stmt.reduction is not None:
-            yield ProgramSpec(
-                name=program.name,
-                dtype=program.dtype,
-                loops=program.loops,
-                statement=StatementSpec(
-                    target_array=stmt.target_array,
-                    target_coeffs=stmt.target_coeffs,
-                    target_const=stmt.target_const,
-                    terms=stmt.terms,
-                    ops=stmt.ops,
-                    reduction=None,
-                ),
-            )
+            yield replace(program, statement=replace(stmt, reduction=None))
         return
     for i in range(len(stmt.terms)):
         terms = stmt.terms[:i] + stmt.terms[i + 1:]
@@ -122,22 +109,25 @@ def _drop_terms(program: ProgramSpec) -> Iterator[ProgramSpec]:
         # Removing term i also removes the operator joining it leftward
         # (term 0 loses the operator to its right instead).
         ops = stmt.ops[1:] if i == 0 else stmt.ops[: i - 1] + stmt.ops[i:]
-        yield ProgramSpec(
-            name=program.name,
-            dtype=program.dtype,
-            loops=program.loops,
-            statement=StatementSpec(
-                target_array=stmt.target_array,
-                target_coeffs=stmt.target_coeffs,
-                target_const=stmt.target_const,
-                terms=terms,
-                ops=ops,
-                reduction=stmt.reduction,
-            ),
+        yield replace(program, statement=replace(stmt, terms=terms, ops=ops))
+
+
+def _drop_family_features(program: ProgramSpec) -> Iterator[ProgramSpec]:
+    """Strip fsm/irregular family markers: predication, variable trips."""
+    if program.statement.predicate is not None:
+        yield replace(
+            program, statement=replace(program.statement, predicate=None)
         )
+    if program.variable_trips:
+        yield replace(program, variable_trips=())
 
 
-_PROGRAM_REDUCTIONS = (_drop_loops, _halve_trips, _drop_terms)
+_PROGRAM_REDUCTIONS = (
+    _drop_family_features,
+    _drop_loops,
+    _halve_trips,
+    _drop_terms,
+)
 
 
 # ----------------------------------------------------------------------

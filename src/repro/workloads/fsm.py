@@ -1,0 +1,84 @@
+"""FSM / control-dominated kernels (beyond the paper's Table II).
+
+Wilson & Stitt's scalable FSM overlay (PAPERS.md) targets kernels whose
+cost is branching, not arithmetic; OverGen's answer is the PE predication
+lookup table (Section VI-E), which if-converts control into ``CMP`` +
+``SELECT`` dataflow.  These workloads are select-chain heavy with almost
+no multiplies, so they stress the dispatcher and the predication path
+rather than the FU array — the opposite corner from the DSP suites.
+"""
+
+from __future__ import annotations
+
+from ..ir import I16, I64, Op, Select, Workload, WorkloadBuilder, as_expr, compare
+
+
+def threshold_fsm() -> Workload:
+    """Three-state threshold grader: out = x>hi ? 2 : (x>lo ? 1 : 0).
+
+    A 1D quantizer state machine, fully if-converted into a nested
+    select chain — two compares and two selects per element, zero
+    multiplies.
+    """
+    wb = WorkloadBuilder(
+        "threshold-fsm", suite="fsm", dtype=I64, size_desc="16384x8"
+    )
+    n = 16384
+    x = wb.array("x", n)
+    lohi = wb.array("lohi", 2)
+    out = wb.array("out", n)
+    i = wb.loop("i", n)
+    v = x[i]
+    upper = Select(compare(v, lohi[1]), as_expr(2), as_expr(1))
+    wb.assign(out[i], Select(compare(v, lohi[0]), upper, as_expr(0)))
+    return wb.build()
+
+
+def debounce() -> Workload:
+    """Two-sample debouncer: accept a new level only when it persists.
+
+    ``out = (raw == prev) ? raw : held`` — the classic switch-debounce
+    FSM, if-converted: the equality test becomes two ``CMP``s feeding a
+    select tree (``a==b`` as ``!(a>b) && !(b>a)``).
+    """
+    wb = WorkloadBuilder(
+        "debounce", suite="fsm", dtype=I16, size_desc="32768x2"
+    )
+    n = 32768
+    raw = wb.array("raw", n)
+    prev = wb.array("prev", n)
+    held = wb.array("held", n)
+    out = wb.array("out", n)
+    i = wb.loop("i", n)
+    changed = Select(
+        compare(raw[i], prev[i]),
+        as_expr(1),
+        Select(compare(prev[i], raw[i]), as_expr(1), as_expr(0)),
+    )
+    wb.assign(out[i], Select(changed, held[i], raw[i]))
+    return wb.build()
+
+
+def edge_count() -> Workload:
+    """Signal-transition counter: edges += (x[i] != x[i+1]).
+
+    A control-dominated reduction — every element contributes a compare
+    and a select, and the only arithmetic is the final popcount-style
+    accumulate.  This is the FSM-overlay paper's bread-and-butter shape:
+    a state observer over a long sample stream.
+    """
+    wb = WorkloadBuilder(
+        "edge-count", suite="fsm", dtype=I64, size_desc="16384x8"
+    )
+    n = 16384
+    x = wb.array("x", n + 1)
+    edges = wb.array("edges", 1)
+    i = wb.loop("i", n)
+    a, b = x[i], x[i + 1]
+    rose = Select(compare(a, b), as_expr(1), as_expr(0))
+    fell = Select(compare(b, a), as_expr(1), as_expr(0))
+    wb.accumulate(edges[0], rose + fell, op=Op.ADD)
+    return wb.build()
+
+
+FSM_WORKLOADS = (threshold_fsm, debounce, edge_count)

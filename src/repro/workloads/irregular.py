@@ -1,0 +1,82 @@
+"""Irregular / data-dependent trip-count kernels (beyond Table II).
+
+The paper's Q2 argument is that variable trip counts and indirect
+streams are natively supported by the stream-dataflow ISA while HLS
+needs manual rewrites; Table II only exercises that through ``crs``.
+These kernels make irregularity the whole point: every inner loop has a
+data-dependent trip count, and two of the three also gather through an
+index stream.  They stress the stream dispatcher's ability to keep
+utilization up when the compute per outer iteration is unpredictable.
+"""
+
+from __future__ import annotations
+
+from ..ir import F64, I64, Op, Workload, WorkloadBuilder
+
+
+def ragged_rows() -> Workload:
+    """Row-sum over a ragged matrix (CSR-style row-pointer trip counts).
+
+    ``y[i] = sum_j val[i*w + j]`` where the per-row ``j`` trip comes from
+    row pointers at runtime — pure variable-trip streaming with no
+    indirection, isolating the trip-count effect from the gather effect.
+    """
+    wb = WorkloadBuilder(
+        "ragged-rows", suite="irregular", dtype=F64, size_desc="2048x8"
+    )
+    rows = 2048
+    width = 8
+    val = wb.array("val", rows * width)
+    y = wb.array("y", rows)
+    i = wb.loop("i", rows)
+    j = wb.loop("j", width, variable_trip=True, parallel=False)
+    wb.accumulate(y[i], val[i * width + j], op=Op.ADD)
+    return wb.build()
+
+
+def hash_probe() -> Workload:
+    """Open-addressing probe: walk a bucket chain of data-dependent length.
+
+    Each key probes up to eight slots (``variable_trip``: the expected
+    chain is half that) and gathers the stored values through the slot
+    index stream — a hash-join build/probe inner loop.
+    """
+    wb = WorkloadBuilder(
+        "hash-probe", suite="irregular", dtype=I64, size_desc="4096x8"
+    )
+    keys = 4096
+    probes = 8
+    table = wb.array("table", keys)
+    slot = wb.array("slot", keys * probes, dtype=I64)
+    hits = wb.array("hits", keys)
+    i = wb.loop("i", keys)
+    j = wb.loop("j", probes, variable_trip=True, parallel=False)
+    wb.accumulate(hits[i], table[slot[i * probes + j]], op=Op.ADD)
+    return wb.build()
+
+
+def frontier_gather() -> Workload:
+    """Graph frontier expansion: gather weighted neighbor contributions.
+
+    ``out[v] += w[e] * x[nbr[e]]`` over a variable-degree adjacency list
+    — the sparse push step of BFS/PageRank-style traversals, combining a
+    data-dependent degree loop with an indirect vertex gather.
+    """
+    wb = WorkloadBuilder(
+        "frontier-gather", suite="irregular", dtype=F64, size_desc="1024x16"
+    )
+    verts = 1024
+    degree = 16
+    nbr = wb.array("nbr", verts * degree, dtype=I64)
+    w = wb.array("w", verts * degree)
+    x = wb.array("x", verts)
+    out = wb.array("out", verts)
+    v = wb.loop("v", verts)
+    e = wb.loop("e", degree, variable_trip=True, parallel=False)
+    wb.accumulate(
+        out[v], w[v * degree + e] * x[nbr[v * degree + e]], op=Op.ADD
+    )
+    return wb.build()
+
+
+IRREGULAR_WORKLOADS = (ragged_rows, hash_probe, frontier_gather)

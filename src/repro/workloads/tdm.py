@@ -1,0 +1,92 @@
+"""Time-multiplexed DSP-block kernels (beyond the paper's Table II).
+
+The DSP-block overlay line of work (PAPERS.md) time-multiplexes a small
+number of hard multiply-accumulate blocks across a much deeper arithmetic
+graph.  These kernels have long mul-add chains per output element — far
+more compute nodes than a tile has FUs — so the scheduler must fold many
+operations onto each PE and the dispatcher must keep the shared FUs fed
+every cycle.  They are the arithmetic-density counterpart to the
+control-density :mod:`repro.workloads.fsm` suite.
+"""
+
+from __future__ import annotations
+
+from ..ir import F64, I16, Op, Workload, WorkloadBuilder
+
+
+def horner() -> Workload:
+    """Degree-8 polynomial evaluation by Horner's rule.
+
+    ``y = ((((c8*x + c7)*x + c6)*x + ...)*x + c0`` — eight chained
+    multiply-adds per sample, the canonical shape a time-multiplexed MAC
+    block evaluates one stage per cycle.
+    """
+    wb = WorkloadBuilder("horner", suite="tdm", dtype=F64, size_desc="8192x8")
+    n = 8192
+    degree = 8
+    x = wb.array("x", n)
+    c = wb.array("c", degree + 1)
+    y = wb.array("y", n)
+    i = wb.loop("i", n)
+    acc = c[degree]
+    for k in reversed(range(degree)):
+        acc = acc * x[i] + c[k]
+    wb.assign(y[i], acc)
+    return wb.build()
+
+
+def biquad_cascade() -> Workload:
+    """Two cascaded biquad filter sections (direct form I, flattened).
+
+    Each section is five taps (two feed-forward delays, two feedback
+    delays); the cascade multiplies ten coefficient streams into one
+    sample — a classic DSP48 time-sharing benchmark.  Two sections is
+    the densest cascade that still maps onto the general overlay's port
+    budget (three no longer schedules).
+    """
+    wb = WorkloadBuilder(
+        "biquad-cascade", suite="tdm", dtype=I16, size_desc="16384x2x2"
+    )
+    n = 16384
+    sections = 2
+    x = wb.array("x", n + 2)
+    fb = wb.array("fb", n + 2)
+    coef = wb.array("coef", sections * 5)
+    y = wb.array("y", n)
+    i = wb.loop("i", n)
+    acc = None
+    for s in range(sections):
+        base = s * 5
+        stage = (
+            coef[base] * x[i + 2]
+            + coef[base + 1] * x[i + 1]
+            + coef[base + 2] * x[i]
+            - coef[base + 3] * fb[i + 1]
+            - coef[base + 4] * fb[i]
+        )
+        acc = stage if acc is None else acc + stage
+    wb.assign(y[i], acc)
+    return wb.build()
+
+
+def mac_bank() -> Workload:
+    """32-tap multiply-accumulate bank over a sample window.
+
+    One output per sample, 32 mul-adds each — the per-output op count is
+    deliberately far above a tile's multiplier count, so throughput is
+    set by how well the shared MACs are time-multiplexed (contrast with
+    the dsp suite's 16-tap ``fir``, which fits a tile).
+    """
+    wb = WorkloadBuilder("mac-bank", suite="tdm", dtype=I16, size_desc="8192x32")
+    n = 8192
+    taps = 32
+    x = wb.array("x", n + taps)
+    w = wb.array("w", taps)
+    y = wb.array("y", n)
+    i = wb.loop("i", n)
+    j = wb.loop("j", taps, parallel=False)
+    wb.accumulate(y[i], w[j] * x[i + j], op=Op.ADD)
+    return wb.build()
+
+
+TDM_WORKLOADS = (horner, biquad_cascade, mac_bank)

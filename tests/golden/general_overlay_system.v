@@ -1,0 +1,1683 @@
+// =====================================================================
+// OverGen overlay: general-OG
+// tiles=4 l2=512KiB x 4 banks
+// noc=32B/cyc dram_channels=1
+// target: XCVU9P @ 92.87 MHz
+// =====================================================================
+// ---- OverGen tile 0: 24 PEs, 35 switches ----
+// Processing element: caps = f32.abs, f32.add, f32.cmp, f32.div, f32.max, f32.min, f32.mul, f32.select, f32.sqrt, f32.sub, f64.abs, f64.add, f64.cmp, f64.div, f64.max, f64.min, f64.mul, f64.select, f64.sqrt, f64.sub, i16.abs, i16.add, i16.and, i16.cmp, i16.div, i16.max, i16.min, i16.mul, i16.or, i16.select, i16.shl, i16.shr, i16.sub, i16.xor, i32.abs, i32.add, i32.and, i32.cmp, i32.div, i32.max, i32.min, i32.mul, i32.or, i32.select, i32.shl, i32.shr, i32.sub, i32.xor, i64.abs, i64.add, i64.and, i64.cmp, i64.div, i64.max, i64.min, i64.mul, i64.or, i64.select, i64.shl, i64.shr, i64.sub, i64.xor, i8.abs, i8.add, i8.and, i8.cmp, i8.div, i8.max, i8.min, i8.mul, i8.or, i8.select, i8.shl, i8.shr, i8.sub, i8.xor
+// delay FIFOs: depth 8 per operand
+module pe_35 (
+  input  wire clk,
+  input  wire rst,
+  input  wire [511:0] operand0,
+  input  wire operand0_valid,
+  input  wire [511:0] operand1,
+  input  wire operand1_valid,
+  input  wire [511:0] operand2,
+  input  wire operand2_valid,
+  output wire [511:0] result,
+  output wire result_valid
+);
+  // Dedicated-dataflow datapath (configured instruction; fires when all
+  // operands are valid). Functional units: f32.abs, f32.add, f32.cmp, f32.div, f32.max, f32.min, f32.mul, f32.select, f32.sqrt, f32.sub, f64.abs, f64.add, f64.cmp, f64.div, f64.max, f64.min, f64.mul, f64.select, f64.sqrt, f64.sub, i16.abs, i16.add, i16.and, i16.cmp, i16.div, i16.max, i16.min, i16.mul, i16.or, i16.select, i16.shl, i16.shr, i16.sub, i16.xor, i32.abs, i32.add, i32.and, i32.cmp, i32.div, i32.max, i32.min, i32.mul, i32.or, i32.select, i32.shl, i32.shr, i32.sub, i32.xor, i64.abs, i64.add, i64.and, i64.cmp, i64.div, i64.max, i64.min, i64.mul, i64.or, i64.select, i64.shl, i64.shr, i64.sub, i64.xor, i8.abs, i8.add, i8.and, i8.cmp, i8.div, i8.max, i8.min, i8.mul, i8.or, i8.select, i8.shl, i8.shr, i8.sub, i8.xor.
+endmodule
+
+// Processing element: caps = f32.abs, f32.add, f32.cmp, f32.div, f32.max, f32.min, f32.mul, f32.select, f32.sqrt, f32.sub, f64.abs, f64.add, f64.cmp, f64.div, f64.max, f64.min, f64.mul, f64.select, f64.sqrt, f64.sub, i16.abs, i16.add, i16.and, i16.cmp, i16.div, i16.max, i16.min, i16.mul, i16.or, i16.select, i16.shl, i16.shr, i16.sub, i16.xor, i32.abs, i32.add, i32.and, i32.cmp, i32.div, i32.max, i32.min, i32.mul, i32.or, i32.select, i32.shl, i32.shr, i32.sub, i32.xor, i64.abs, i64.add, i64.and, i64.cmp, i64.div, i64.max, i64.min, i64.mul, i64.or, i64.select, i64.shl, i64.shr, i64.sub, i64.xor, i8.abs, i8.add, i8.and, i8.cmp, i8.div, i8.max, i8.min, i8.mul, i8.or, i8.select, i8.shl, i8.shr, i8.sub, i8.xor
+// delay FIFOs: depth 8 per operand
+module pe_36 (
+  input  wire clk,
+  input  wire rst,
+  input  wire [511:0] operand0,
+  input  wire operand0_valid,
+  input  wire [511:0] operand1,
+  input  wire operand1_valid,
+  input  wire [511:0] operand2,
+  input  wire operand2_valid,
+  output wire [511:0] result,
+  output wire result_valid
+);
+  // Dedicated-dataflow datapath (configured instruction; fires when all
+  // operands are valid). Functional units: f32.abs, f32.add, f32.cmp, f32.div, f32.max, f32.min, f32.mul, f32.select, f32.sqrt, f32.sub, f64.abs, f64.add, f64.cmp, f64.div, f64.max, f64.min, f64.mul, f64.select, f64.sqrt, f64.sub, i16.abs, i16.add, i16.and, i16.cmp, i16.div, i16.max, i16.min, i16.mul, i16.or, i16.select, i16.shl, i16.shr, i16.sub, i16.xor, i32.abs, i32.add, i32.and, i32.cmp, i32.div, i32.max, i32.min, i32.mul, i32.or, i32.select, i32.shl, i32.shr, i32.sub, i32.xor, i64.abs, i64.add, i64.and, i64.cmp, i64.div, i64.max, i64.min, i64.mul, i64.or, i64.select, i64.shl, i64.shr, i64.sub, i64.xor, i8.abs, i8.add, i8.and, i8.cmp, i8.div, i8.max, i8.min, i8.mul, i8.or, i8.select, i8.shl, i8.shr, i8.sub, i8.xor.
+endmodule
+
+// Processing element: caps = f32.abs, f32.add, f32.cmp, f32.div, f32.max, f32.min, f32.mul, f32.select, f32.sqrt, f32.sub, f64.abs, f64.add, f64.cmp, f64.div, f64.max, f64.min, f64.mul, f64.select, f64.sqrt, f64.sub, i16.abs, i16.add, i16.and, i16.cmp, i16.div, i16.max, i16.min, i16.mul, i16.or, i16.select, i16.shl, i16.shr, i16.sub, i16.xor, i32.abs, i32.add, i32.and, i32.cmp, i32.div, i32.max, i32.min, i32.mul, i32.or, i32.select, i32.shl, i32.shr, i32.sub, i32.xor, i64.abs, i64.add, i64.and, i64.cmp, i64.div, i64.max, i64.min, i64.mul, i64.or, i64.select, i64.shl, i64.shr, i64.sub, i64.xor, i8.abs, i8.add, i8.and, i8.cmp, i8.div, i8.max, i8.min, i8.mul, i8.or, i8.select, i8.shl, i8.shr, i8.sub, i8.xor
+// delay FIFOs: depth 8 per operand
+module pe_37 (
+  input  wire clk,
+  input  wire rst,
+  input  wire [511:0] operand0,
+  input  wire operand0_valid,
+  input  wire [511:0] operand1,
+  input  wire operand1_valid,
+  input  wire [511:0] operand2,
+  input  wire operand2_valid,
+  output wire [511:0] result,
+  output wire result_valid
+);
+  // Dedicated-dataflow datapath (configured instruction; fires when all
+  // operands are valid). Functional units: f32.abs, f32.add, f32.cmp, f32.div, f32.max, f32.min, f32.mul, f32.select, f32.sqrt, f32.sub, f64.abs, f64.add, f64.cmp, f64.div, f64.max, f64.min, f64.mul, f64.select, f64.sqrt, f64.sub, i16.abs, i16.add, i16.and, i16.cmp, i16.div, i16.max, i16.min, i16.mul, i16.or, i16.select, i16.shl, i16.shr, i16.sub, i16.xor, i32.abs, i32.add, i32.and, i32.cmp, i32.div, i32.max, i32.min, i32.mul, i32.or, i32.select, i32.shl, i32.shr, i32.sub, i32.xor, i64.abs, i64.add, i64.and, i64.cmp, i64.div, i64.max, i64.min, i64.mul, i64.or, i64.select, i64.shl, i64.shr, i64.sub, i64.xor, i8.abs, i8.add, i8.and, i8.cmp, i8.div, i8.max, i8.min, i8.mul, i8.or, i8.select, i8.shl, i8.shr, i8.sub, i8.xor.
+endmodule
+
+// Processing element: caps = f32.abs, f32.add, f32.cmp, f32.div, f32.max, f32.min, f32.mul, f32.select, f32.sqrt, f32.sub, f64.abs, f64.add, f64.cmp, f64.div, f64.max, f64.min, f64.mul, f64.select, f64.sqrt, f64.sub, i16.abs, i16.add, i16.and, i16.cmp, i16.div, i16.max, i16.min, i16.mul, i16.or, i16.select, i16.shl, i16.shr, i16.sub, i16.xor, i32.abs, i32.add, i32.and, i32.cmp, i32.div, i32.max, i32.min, i32.mul, i32.or, i32.select, i32.shl, i32.shr, i32.sub, i32.xor, i64.abs, i64.add, i64.and, i64.cmp, i64.div, i64.max, i64.min, i64.mul, i64.or, i64.select, i64.shl, i64.shr, i64.sub, i64.xor, i8.abs, i8.add, i8.and, i8.cmp, i8.div, i8.max, i8.min, i8.mul, i8.or, i8.select, i8.shl, i8.shr, i8.sub, i8.xor
+// delay FIFOs: depth 8 per operand
+module pe_38 (
+  input  wire clk,
+  input  wire rst,
+  input  wire [511:0] operand0,
+  input  wire operand0_valid,
+  input  wire [511:0] operand1,
+  input  wire operand1_valid,
+  input  wire [511:0] operand2,
+  input  wire operand2_valid,
+  output wire [511:0] result,
+  output wire result_valid
+);
+  // Dedicated-dataflow datapath (configured instruction; fires when all
+  // operands are valid). Functional units: f32.abs, f32.add, f32.cmp, f32.div, f32.max, f32.min, f32.mul, f32.select, f32.sqrt, f32.sub, f64.abs, f64.add, f64.cmp, f64.div, f64.max, f64.min, f64.mul, f64.select, f64.sqrt, f64.sub, i16.abs, i16.add, i16.and, i16.cmp, i16.div, i16.max, i16.min, i16.mul, i16.or, i16.select, i16.shl, i16.shr, i16.sub, i16.xor, i32.abs, i32.add, i32.and, i32.cmp, i32.div, i32.max, i32.min, i32.mul, i32.or, i32.select, i32.shl, i32.shr, i32.sub, i32.xor, i64.abs, i64.add, i64.and, i64.cmp, i64.div, i64.max, i64.min, i64.mul, i64.or, i64.select, i64.shl, i64.shr, i64.sub, i64.xor, i8.abs, i8.add, i8.and, i8.cmp, i8.div, i8.max, i8.min, i8.mul, i8.or, i8.select, i8.shl, i8.shr, i8.sub, i8.xor.
+endmodule
+
+// Processing element: caps = f32.abs, f32.add, f32.cmp, f32.div, f32.max, f32.min, f32.mul, f32.select, f32.sqrt, f32.sub, f64.abs, f64.add, f64.cmp, f64.div, f64.max, f64.min, f64.mul, f64.select, f64.sqrt, f64.sub, i16.abs, i16.add, i16.and, i16.cmp, i16.div, i16.max, i16.min, i16.mul, i16.or, i16.select, i16.shl, i16.shr, i16.sub, i16.xor, i32.abs, i32.add, i32.and, i32.cmp, i32.div, i32.max, i32.min, i32.mul, i32.or, i32.select, i32.shl, i32.shr, i32.sub, i32.xor, i64.abs, i64.add, i64.and, i64.cmp, i64.div, i64.max, i64.min, i64.mul, i64.or, i64.select, i64.shl, i64.shr, i64.sub, i64.xor, i8.abs, i8.add, i8.and, i8.cmp, i8.div, i8.max, i8.min, i8.mul, i8.or, i8.select, i8.shl, i8.shr, i8.sub, i8.xor
+// delay FIFOs: depth 8 per operand
+module pe_39 (
+  input  wire clk,
+  input  wire rst,
+  input  wire [511:0] operand0,
+  input  wire operand0_valid,
+  input  wire [511:0] operand1,
+  input  wire operand1_valid,
+  input  wire [511:0] operand2,
+  input  wire operand2_valid,
+  output wire [511:0] result,
+  output wire result_valid
+);
+  // Dedicated-dataflow datapath (configured instruction; fires when all
+  // operands are valid). Functional units: f32.abs, f32.add, f32.cmp, f32.div, f32.max, f32.min, f32.mul, f32.select, f32.sqrt, f32.sub, f64.abs, f64.add, f64.cmp, f64.div, f64.max, f64.min, f64.mul, f64.select, f64.sqrt, f64.sub, i16.abs, i16.add, i16.and, i16.cmp, i16.div, i16.max, i16.min, i16.mul, i16.or, i16.select, i16.shl, i16.shr, i16.sub, i16.xor, i32.abs, i32.add, i32.and, i32.cmp, i32.div, i32.max, i32.min, i32.mul, i32.or, i32.select, i32.shl, i32.shr, i32.sub, i32.xor, i64.abs, i64.add, i64.and, i64.cmp, i64.div, i64.max, i64.min, i64.mul, i64.or, i64.select, i64.shl, i64.shr, i64.sub, i64.xor, i8.abs, i8.add, i8.and, i8.cmp, i8.div, i8.max, i8.min, i8.mul, i8.or, i8.select, i8.shl, i8.shr, i8.sub, i8.xor.
+endmodule
+
+// Processing element: caps = f32.abs, f32.add, f32.cmp, f32.div, f32.max, f32.min, f32.mul, f32.select, f32.sqrt, f32.sub, f64.abs, f64.add, f64.cmp, f64.div, f64.max, f64.min, f64.mul, f64.select, f64.sqrt, f64.sub, i16.abs, i16.add, i16.and, i16.cmp, i16.div, i16.max, i16.min, i16.mul, i16.or, i16.select, i16.shl, i16.shr, i16.sub, i16.xor, i32.abs, i32.add, i32.and, i32.cmp, i32.div, i32.max, i32.min, i32.mul, i32.or, i32.select, i32.shl, i32.shr, i32.sub, i32.xor, i64.abs, i64.add, i64.and, i64.cmp, i64.div, i64.max, i64.min, i64.mul, i64.or, i64.select, i64.shl, i64.shr, i64.sub, i64.xor, i8.abs, i8.add, i8.and, i8.cmp, i8.div, i8.max, i8.min, i8.mul, i8.or, i8.select, i8.shl, i8.shr, i8.sub, i8.xor
+// delay FIFOs: depth 8 per operand
+module pe_40 (
+  input  wire clk,
+  input  wire rst,
+  input  wire [511:0] operand0,
+  input  wire operand0_valid,
+  input  wire [511:0] operand1,
+  input  wire operand1_valid,
+  input  wire [511:0] operand2,
+  input  wire operand2_valid,
+  output wire [511:0] result,
+  output wire result_valid
+);
+  // Dedicated-dataflow datapath (configured instruction; fires when all
+  // operands are valid). Functional units: f32.abs, f32.add, f32.cmp, f32.div, f32.max, f32.min, f32.mul, f32.select, f32.sqrt, f32.sub, f64.abs, f64.add, f64.cmp, f64.div, f64.max, f64.min, f64.mul, f64.select, f64.sqrt, f64.sub, i16.abs, i16.add, i16.and, i16.cmp, i16.div, i16.max, i16.min, i16.mul, i16.or, i16.select, i16.shl, i16.shr, i16.sub, i16.xor, i32.abs, i32.add, i32.and, i32.cmp, i32.div, i32.max, i32.min, i32.mul, i32.or, i32.select, i32.shl, i32.shr, i32.sub, i32.xor, i64.abs, i64.add, i64.and, i64.cmp, i64.div, i64.max, i64.min, i64.mul, i64.or, i64.select, i64.shl, i64.shr, i64.sub, i64.xor, i8.abs, i8.add, i8.and, i8.cmp, i8.div, i8.max, i8.min, i8.mul, i8.or, i8.select, i8.shl, i8.shr, i8.sub, i8.xor.
+endmodule
+
+// Processing element: caps = f32.abs, f32.add, f32.cmp, f32.div, f32.max, f32.min, f32.mul, f32.select, f32.sqrt, f32.sub, f64.abs, f64.add, f64.cmp, f64.div, f64.max, f64.min, f64.mul, f64.select, f64.sqrt, f64.sub, i16.abs, i16.add, i16.and, i16.cmp, i16.div, i16.max, i16.min, i16.mul, i16.or, i16.select, i16.shl, i16.shr, i16.sub, i16.xor, i32.abs, i32.add, i32.and, i32.cmp, i32.div, i32.max, i32.min, i32.mul, i32.or, i32.select, i32.shl, i32.shr, i32.sub, i32.xor, i64.abs, i64.add, i64.and, i64.cmp, i64.div, i64.max, i64.min, i64.mul, i64.or, i64.select, i64.shl, i64.shr, i64.sub, i64.xor, i8.abs, i8.add, i8.and, i8.cmp, i8.div, i8.max, i8.min, i8.mul, i8.or, i8.select, i8.shl, i8.shr, i8.sub, i8.xor
+// delay FIFOs: depth 8 per operand
+module pe_41 (
+  input  wire clk,
+  input  wire rst,
+  input  wire [511:0] operand0,
+  input  wire operand0_valid,
+  input  wire [511:0] operand1,
+  input  wire operand1_valid,
+  input  wire [511:0] operand2,
+  input  wire operand2_valid,
+  output wire [511:0] result,
+  output wire result_valid
+);
+  // Dedicated-dataflow datapath (configured instruction; fires when all
+  // operands are valid). Functional units: f32.abs, f32.add, f32.cmp, f32.div, f32.max, f32.min, f32.mul, f32.select, f32.sqrt, f32.sub, f64.abs, f64.add, f64.cmp, f64.div, f64.max, f64.min, f64.mul, f64.select, f64.sqrt, f64.sub, i16.abs, i16.add, i16.and, i16.cmp, i16.div, i16.max, i16.min, i16.mul, i16.or, i16.select, i16.shl, i16.shr, i16.sub, i16.xor, i32.abs, i32.add, i32.and, i32.cmp, i32.div, i32.max, i32.min, i32.mul, i32.or, i32.select, i32.shl, i32.shr, i32.sub, i32.xor, i64.abs, i64.add, i64.and, i64.cmp, i64.div, i64.max, i64.min, i64.mul, i64.or, i64.select, i64.shl, i64.shr, i64.sub, i64.xor, i8.abs, i8.add, i8.and, i8.cmp, i8.div, i8.max, i8.min, i8.mul, i8.or, i8.select, i8.shl, i8.shr, i8.sub, i8.xor.
+endmodule
+
+// Processing element: caps = f32.abs, f32.add, f32.cmp, f32.div, f32.max, f32.min, f32.mul, f32.select, f32.sqrt, f32.sub, f64.abs, f64.add, f64.cmp, f64.div, f64.max, f64.min, f64.mul, f64.select, f64.sqrt, f64.sub, i16.abs, i16.add, i16.and, i16.cmp, i16.div, i16.max, i16.min, i16.mul, i16.or, i16.select, i16.shl, i16.shr, i16.sub, i16.xor, i32.abs, i32.add, i32.and, i32.cmp, i32.div, i32.max, i32.min, i32.mul, i32.or, i32.select, i32.shl, i32.shr, i32.sub, i32.xor, i64.abs, i64.add, i64.and, i64.cmp, i64.div, i64.max, i64.min, i64.mul, i64.or, i64.select, i64.shl, i64.shr, i64.sub, i64.xor, i8.abs, i8.add, i8.and, i8.cmp, i8.div, i8.max, i8.min, i8.mul, i8.or, i8.select, i8.shl, i8.shr, i8.sub, i8.xor
+// delay FIFOs: depth 8 per operand
+module pe_42 (
+  input  wire clk,
+  input  wire rst,
+  input  wire [511:0] operand0,
+  input  wire operand0_valid,
+  input  wire [511:0] operand1,
+  input  wire operand1_valid,
+  input  wire [511:0] operand2,
+  input  wire operand2_valid,
+  output wire [511:0] result,
+  output wire result_valid
+);
+  // Dedicated-dataflow datapath (configured instruction; fires when all
+  // operands are valid). Functional units: f32.abs, f32.add, f32.cmp, f32.div, f32.max, f32.min, f32.mul, f32.select, f32.sqrt, f32.sub, f64.abs, f64.add, f64.cmp, f64.div, f64.max, f64.min, f64.mul, f64.select, f64.sqrt, f64.sub, i16.abs, i16.add, i16.and, i16.cmp, i16.div, i16.max, i16.min, i16.mul, i16.or, i16.select, i16.shl, i16.shr, i16.sub, i16.xor, i32.abs, i32.add, i32.and, i32.cmp, i32.div, i32.max, i32.min, i32.mul, i32.or, i32.select, i32.shl, i32.shr, i32.sub, i32.xor, i64.abs, i64.add, i64.and, i64.cmp, i64.div, i64.max, i64.min, i64.mul, i64.or, i64.select, i64.shl, i64.shr, i64.sub, i64.xor, i8.abs, i8.add, i8.and, i8.cmp, i8.div, i8.max, i8.min, i8.mul, i8.or, i8.select, i8.shl, i8.shr, i8.sub, i8.xor.
+endmodule
+
+// Processing element: caps = f32.abs, f32.add, f32.cmp, f32.div, f32.max, f32.min, f32.mul, f32.select, f32.sqrt, f32.sub, f64.abs, f64.add, f64.cmp, f64.div, f64.max, f64.min, f64.mul, f64.select, f64.sqrt, f64.sub, i16.abs, i16.add, i16.and, i16.cmp, i16.div, i16.max, i16.min, i16.mul, i16.or, i16.select, i16.shl, i16.shr, i16.sub, i16.xor, i32.abs, i32.add, i32.and, i32.cmp, i32.div, i32.max, i32.min, i32.mul, i32.or, i32.select, i32.shl, i32.shr, i32.sub, i32.xor, i64.abs, i64.add, i64.and, i64.cmp, i64.div, i64.max, i64.min, i64.mul, i64.or, i64.select, i64.shl, i64.shr, i64.sub, i64.xor, i8.abs, i8.add, i8.and, i8.cmp, i8.div, i8.max, i8.min, i8.mul, i8.or, i8.select, i8.shl, i8.shr, i8.sub, i8.xor
+// delay FIFOs: depth 8 per operand
+module pe_43 (
+  input  wire clk,
+  input  wire rst,
+  input  wire [511:0] operand0,
+  input  wire operand0_valid,
+  input  wire [511:0] operand1,
+  input  wire operand1_valid,
+  input  wire [511:0] operand2,
+  input  wire operand2_valid,
+  output wire [511:0] result,
+  output wire result_valid
+);
+  // Dedicated-dataflow datapath (configured instruction; fires when all
+  // operands are valid). Functional units: f32.abs, f32.add, f32.cmp, f32.div, f32.max, f32.min, f32.mul, f32.select, f32.sqrt, f32.sub, f64.abs, f64.add, f64.cmp, f64.div, f64.max, f64.min, f64.mul, f64.select, f64.sqrt, f64.sub, i16.abs, i16.add, i16.and, i16.cmp, i16.div, i16.max, i16.min, i16.mul, i16.or, i16.select, i16.shl, i16.shr, i16.sub, i16.xor, i32.abs, i32.add, i32.and, i32.cmp, i32.div, i32.max, i32.min, i32.mul, i32.or, i32.select, i32.shl, i32.shr, i32.sub, i32.xor, i64.abs, i64.add, i64.and, i64.cmp, i64.div, i64.max, i64.min, i64.mul, i64.or, i64.select, i64.shl, i64.shr, i64.sub, i64.xor, i8.abs, i8.add, i8.and, i8.cmp, i8.div, i8.max, i8.min, i8.mul, i8.or, i8.select, i8.shl, i8.shr, i8.sub, i8.xor.
+endmodule
+
+// Processing element: caps = f32.abs, f32.add, f32.cmp, f32.div, f32.max, f32.min, f32.mul, f32.select, f32.sqrt, f32.sub, f64.abs, f64.add, f64.cmp, f64.div, f64.max, f64.min, f64.mul, f64.select, f64.sqrt, f64.sub, i16.abs, i16.add, i16.and, i16.cmp, i16.div, i16.max, i16.min, i16.mul, i16.or, i16.select, i16.shl, i16.shr, i16.sub, i16.xor, i32.abs, i32.add, i32.and, i32.cmp, i32.div, i32.max, i32.min, i32.mul, i32.or, i32.select, i32.shl, i32.shr, i32.sub, i32.xor, i64.abs, i64.add, i64.and, i64.cmp, i64.div, i64.max, i64.min, i64.mul, i64.or, i64.select, i64.shl, i64.shr, i64.sub, i64.xor, i8.abs, i8.add, i8.and, i8.cmp, i8.div, i8.max, i8.min, i8.mul, i8.or, i8.select, i8.shl, i8.shr, i8.sub, i8.xor
+// delay FIFOs: depth 8 per operand
+module pe_44 (
+  input  wire clk,
+  input  wire rst,
+  input  wire [511:0] operand0,
+  input  wire operand0_valid,
+  input  wire [511:0] operand1,
+  input  wire operand1_valid,
+  input  wire [511:0] operand2,
+  input  wire operand2_valid,
+  output wire [511:0] result,
+  output wire result_valid
+);
+  // Dedicated-dataflow datapath (configured instruction; fires when all
+  // operands are valid). Functional units: f32.abs, f32.add, f32.cmp, f32.div, f32.max, f32.min, f32.mul, f32.select, f32.sqrt, f32.sub, f64.abs, f64.add, f64.cmp, f64.div, f64.max, f64.min, f64.mul, f64.select, f64.sqrt, f64.sub, i16.abs, i16.add, i16.and, i16.cmp, i16.div, i16.max, i16.min, i16.mul, i16.or, i16.select, i16.shl, i16.shr, i16.sub, i16.xor, i32.abs, i32.add, i32.and, i32.cmp, i32.div, i32.max, i32.min, i32.mul, i32.or, i32.select, i32.shl, i32.shr, i32.sub, i32.xor, i64.abs, i64.add, i64.and, i64.cmp, i64.div, i64.max, i64.min, i64.mul, i64.or, i64.select, i64.shl, i64.shr, i64.sub, i64.xor, i8.abs, i8.add, i8.and, i8.cmp, i8.div, i8.max, i8.min, i8.mul, i8.or, i8.select, i8.shl, i8.shr, i8.sub, i8.xor.
+endmodule
+
+// Processing element: caps = f32.abs, f32.add, f32.cmp, f32.div, f32.max, f32.min, f32.mul, f32.select, f32.sqrt, f32.sub, f64.abs, f64.add, f64.cmp, f64.div, f64.max, f64.min, f64.mul, f64.select, f64.sqrt, f64.sub, i16.abs, i16.add, i16.and, i16.cmp, i16.div, i16.max, i16.min, i16.mul, i16.or, i16.select, i16.shl, i16.shr, i16.sub, i16.xor, i32.abs, i32.add, i32.and, i32.cmp, i32.div, i32.max, i32.min, i32.mul, i32.or, i32.select, i32.shl, i32.shr, i32.sub, i32.xor, i64.abs, i64.add, i64.and, i64.cmp, i64.div, i64.max, i64.min, i64.mul, i64.or, i64.select, i64.shl, i64.shr, i64.sub, i64.xor, i8.abs, i8.add, i8.and, i8.cmp, i8.div, i8.max, i8.min, i8.mul, i8.or, i8.select, i8.shl, i8.shr, i8.sub, i8.xor
+// delay FIFOs: depth 8 per operand
+module pe_45 (
+  input  wire clk,
+  input  wire rst,
+  input  wire [511:0] operand0,
+  input  wire operand0_valid,
+  input  wire [511:0] operand1,
+  input  wire operand1_valid,
+  input  wire [511:0] operand2,
+  input  wire operand2_valid,
+  output wire [511:0] result,
+  output wire result_valid
+);
+  // Dedicated-dataflow datapath (configured instruction; fires when all
+  // operands are valid). Functional units: f32.abs, f32.add, f32.cmp, f32.div, f32.max, f32.min, f32.mul, f32.select, f32.sqrt, f32.sub, f64.abs, f64.add, f64.cmp, f64.div, f64.max, f64.min, f64.mul, f64.select, f64.sqrt, f64.sub, i16.abs, i16.add, i16.and, i16.cmp, i16.div, i16.max, i16.min, i16.mul, i16.or, i16.select, i16.shl, i16.shr, i16.sub, i16.xor, i32.abs, i32.add, i32.and, i32.cmp, i32.div, i32.max, i32.min, i32.mul, i32.or, i32.select, i32.shl, i32.shr, i32.sub, i32.xor, i64.abs, i64.add, i64.and, i64.cmp, i64.div, i64.max, i64.min, i64.mul, i64.or, i64.select, i64.shl, i64.shr, i64.sub, i64.xor, i8.abs, i8.add, i8.and, i8.cmp, i8.div, i8.max, i8.min, i8.mul, i8.or, i8.select, i8.shl, i8.shr, i8.sub, i8.xor.
+endmodule
+
+// Processing element: caps = f32.abs, f32.add, f32.cmp, f32.div, f32.max, f32.min, f32.mul, f32.select, f32.sqrt, f32.sub, f64.abs, f64.add, f64.cmp, f64.div, f64.max, f64.min, f64.mul, f64.select, f64.sqrt, f64.sub, i16.abs, i16.add, i16.and, i16.cmp, i16.div, i16.max, i16.min, i16.mul, i16.or, i16.select, i16.shl, i16.shr, i16.sub, i16.xor, i32.abs, i32.add, i32.and, i32.cmp, i32.div, i32.max, i32.min, i32.mul, i32.or, i32.select, i32.shl, i32.shr, i32.sub, i32.xor, i64.abs, i64.add, i64.and, i64.cmp, i64.div, i64.max, i64.min, i64.mul, i64.or, i64.select, i64.shl, i64.shr, i64.sub, i64.xor, i8.abs, i8.add, i8.and, i8.cmp, i8.div, i8.max, i8.min, i8.mul, i8.or, i8.select, i8.shl, i8.shr, i8.sub, i8.xor
+// delay FIFOs: depth 8 per operand
+module pe_46 (
+  input  wire clk,
+  input  wire rst,
+  input  wire [511:0] operand0,
+  input  wire operand0_valid,
+  input  wire [511:0] operand1,
+  input  wire operand1_valid,
+  input  wire [511:0] operand2,
+  input  wire operand2_valid,
+  output wire [511:0] result,
+  output wire result_valid
+);
+  // Dedicated-dataflow datapath (configured instruction; fires when all
+  // operands are valid). Functional units: f32.abs, f32.add, f32.cmp, f32.div, f32.max, f32.min, f32.mul, f32.select, f32.sqrt, f32.sub, f64.abs, f64.add, f64.cmp, f64.div, f64.max, f64.min, f64.mul, f64.select, f64.sqrt, f64.sub, i16.abs, i16.add, i16.and, i16.cmp, i16.div, i16.max, i16.min, i16.mul, i16.or, i16.select, i16.shl, i16.shr, i16.sub, i16.xor, i32.abs, i32.add, i32.and, i32.cmp, i32.div, i32.max, i32.min, i32.mul, i32.or, i32.select, i32.shl, i32.shr, i32.sub, i32.xor, i64.abs, i64.add, i64.and, i64.cmp, i64.div, i64.max, i64.min, i64.mul, i64.or, i64.select, i64.shl, i64.shr, i64.sub, i64.xor, i8.abs, i8.add, i8.and, i8.cmp, i8.div, i8.max, i8.min, i8.mul, i8.or, i8.select, i8.shl, i8.shr, i8.sub, i8.xor.
+endmodule
+
+// Processing element: caps = f32.abs, f32.add, f32.cmp, f32.div, f32.max, f32.min, f32.mul, f32.select, f32.sqrt, f32.sub, f64.abs, f64.add, f64.cmp, f64.div, f64.max, f64.min, f64.mul, f64.select, f64.sqrt, f64.sub, i16.abs, i16.add, i16.and, i16.cmp, i16.div, i16.max, i16.min, i16.mul, i16.or, i16.select, i16.shl, i16.shr, i16.sub, i16.xor, i32.abs, i32.add, i32.and, i32.cmp, i32.div, i32.max, i32.min, i32.mul, i32.or, i32.select, i32.shl, i32.shr, i32.sub, i32.xor, i64.abs, i64.add, i64.and, i64.cmp, i64.div, i64.max, i64.min, i64.mul, i64.or, i64.select, i64.shl, i64.shr, i64.sub, i64.xor, i8.abs, i8.add, i8.and, i8.cmp, i8.div, i8.max, i8.min, i8.mul, i8.or, i8.select, i8.shl, i8.shr, i8.sub, i8.xor
+// delay FIFOs: depth 8 per operand
+module pe_47 (
+  input  wire clk,
+  input  wire rst,
+  input  wire [511:0] operand0,
+  input  wire operand0_valid,
+  input  wire [511:0] operand1,
+  input  wire operand1_valid,
+  input  wire [511:0] operand2,
+  input  wire operand2_valid,
+  output wire [511:0] result,
+  output wire result_valid
+);
+  // Dedicated-dataflow datapath (configured instruction; fires when all
+  // operands are valid). Functional units: f32.abs, f32.add, f32.cmp, f32.div, f32.max, f32.min, f32.mul, f32.select, f32.sqrt, f32.sub, f64.abs, f64.add, f64.cmp, f64.div, f64.max, f64.min, f64.mul, f64.select, f64.sqrt, f64.sub, i16.abs, i16.add, i16.and, i16.cmp, i16.div, i16.max, i16.min, i16.mul, i16.or, i16.select, i16.shl, i16.shr, i16.sub, i16.xor, i32.abs, i32.add, i32.and, i32.cmp, i32.div, i32.max, i32.min, i32.mul, i32.or, i32.select, i32.shl, i32.shr, i32.sub, i32.xor, i64.abs, i64.add, i64.and, i64.cmp, i64.div, i64.max, i64.min, i64.mul, i64.or, i64.select, i64.shl, i64.shr, i64.sub, i64.xor, i8.abs, i8.add, i8.and, i8.cmp, i8.div, i8.max, i8.min, i8.mul, i8.or, i8.select, i8.shl, i8.shr, i8.sub, i8.xor.
+endmodule
+
+// Processing element: caps = f32.abs, f32.add, f32.cmp, f32.div, f32.max, f32.min, f32.mul, f32.select, f32.sqrt, f32.sub, f64.abs, f64.add, f64.cmp, f64.div, f64.max, f64.min, f64.mul, f64.select, f64.sqrt, f64.sub, i16.abs, i16.add, i16.and, i16.cmp, i16.div, i16.max, i16.min, i16.mul, i16.or, i16.select, i16.shl, i16.shr, i16.sub, i16.xor, i32.abs, i32.add, i32.and, i32.cmp, i32.div, i32.max, i32.min, i32.mul, i32.or, i32.select, i32.shl, i32.shr, i32.sub, i32.xor, i64.abs, i64.add, i64.and, i64.cmp, i64.div, i64.max, i64.min, i64.mul, i64.or, i64.select, i64.shl, i64.shr, i64.sub, i64.xor, i8.abs, i8.add, i8.and, i8.cmp, i8.div, i8.max, i8.min, i8.mul, i8.or, i8.select, i8.shl, i8.shr, i8.sub, i8.xor
+// delay FIFOs: depth 8 per operand
+module pe_48 (
+  input  wire clk,
+  input  wire rst,
+  input  wire [511:0] operand0,
+  input  wire operand0_valid,
+  input  wire [511:0] operand1,
+  input  wire operand1_valid,
+  input  wire [511:0] operand2,
+  input  wire operand2_valid,
+  output wire [511:0] result,
+  output wire result_valid
+);
+  // Dedicated-dataflow datapath (configured instruction; fires when all
+  // operands are valid). Functional units: f32.abs, f32.add, f32.cmp, f32.div, f32.max, f32.min, f32.mul, f32.select, f32.sqrt, f32.sub, f64.abs, f64.add, f64.cmp, f64.div, f64.max, f64.min, f64.mul, f64.select, f64.sqrt, f64.sub, i16.abs, i16.add, i16.and, i16.cmp, i16.div, i16.max, i16.min, i16.mul, i16.or, i16.select, i16.shl, i16.shr, i16.sub, i16.xor, i32.abs, i32.add, i32.and, i32.cmp, i32.div, i32.max, i32.min, i32.mul, i32.or, i32.select, i32.shl, i32.shr, i32.sub, i32.xor, i64.abs, i64.add, i64.and, i64.cmp, i64.div, i64.max, i64.min, i64.mul, i64.or, i64.select, i64.shl, i64.shr, i64.sub, i64.xor, i8.abs, i8.add, i8.and, i8.cmp, i8.div, i8.max, i8.min, i8.mul, i8.or, i8.select, i8.shl, i8.shr, i8.sub, i8.xor.
+endmodule
+
+// Processing element: caps = f32.abs, f32.add, f32.cmp, f32.div, f32.max, f32.min, f32.mul, f32.select, f32.sqrt, f32.sub, f64.abs, f64.add, f64.cmp, f64.div, f64.max, f64.min, f64.mul, f64.select, f64.sqrt, f64.sub, i16.abs, i16.add, i16.and, i16.cmp, i16.div, i16.max, i16.min, i16.mul, i16.or, i16.select, i16.shl, i16.shr, i16.sub, i16.xor, i32.abs, i32.add, i32.and, i32.cmp, i32.div, i32.max, i32.min, i32.mul, i32.or, i32.select, i32.shl, i32.shr, i32.sub, i32.xor, i64.abs, i64.add, i64.and, i64.cmp, i64.div, i64.max, i64.min, i64.mul, i64.or, i64.select, i64.shl, i64.shr, i64.sub, i64.xor, i8.abs, i8.add, i8.and, i8.cmp, i8.div, i8.max, i8.min, i8.mul, i8.or, i8.select, i8.shl, i8.shr, i8.sub, i8.xor
+// delay FIFOs: depth 8 per operand
+module pe_49 (
+  input  wire clk,
+  input  wire rst,
+  input  wire [511:0] operand0,
+  input  wire operand0_valid,
+  input  wire [511:0] operand1,
+  input  wire operand1_valid,
+  input  wire [511:0] operand2,
+  input  wire operand2_valid,
+  output wire [511:0] result,
+  output wire result_valid
+);
+  // Dedicated-dataflow datapath (configured instruction; fires when all
+  // operands are valid). Functional units: f32.abs, f32.add, f32.cmp, f32.div, f32.max, f32.min, f32.mul, f32.select, f32.sqrt, f32.sub, f64.abs, f64.add, f64.cmp, f64.div, f64.max, f64.min, f64.mul, f64.select, f64.sqrt, f64.sub, i16.abs, i16.add, i16.and, i16.cmp, i16.div, i16.max, i16.min, i16.mul, i16.or, i16.select, i16.shl, i16.shr, i16.sub, i16.xor, i32.abs, i32.add, i32.and, i32.cmp, i32.div, i32.max, i32.min, i32.mul, i32.or, i32.select, i32.shl, i32.shr, i32.sub, i32.xor, i64.abs, i64.add, i64.and, i64.cmp, i64.div, i64.max, i64.min, i64.mul, i64.or, i64.select, i64.shl, i64.shr, i64.sub, i64.xor, i8.abs, i8.add, i8.and, i8.cmp, i8.div, i8.max, i8.min, i8.mul, i8.or, i8.select, i8.shl, i8.shr, i8.sub, i8.xor.
+endmodule
+
+// Processing element: caps = f32.abs, f32.add, f32.cmp, f32.div, f32.max, f32.min, f32.mul, f32.select, f32.sqrt, f32.sub, f64.abs, f64.add, f64.cmp, f64.div, f64.max, f64.min, f64.mul, f64.select, f64.sqrt, f64.sub, i16.abs, i16.add, i16.and, i16.cmp, i16.div, i16.max, i16.min, i16.mul, i16.or, i16.select, i16.shl, i16.shr, i16.sub, i16.xor, i32.abs, i32.add, i32.and, i32.cmp, i32.div, i32.max, i32.min, i32.mul, i32.or, i32.select, i32.shl, i32.shr, i32.sub, i32.xor, i64.abs, i64.add, i64.and, i64.cmp, i64.div, i64.max, i64.min, i64.mul, i64.or, i64.select, i64.shl, i64.shr, i64.sub, i64.xor, i8.abs, i8.add, i8.and, i8.cmp, i8.div, i8.max, i8.min, i8.mul, i8.or, i8.select, i8.shl, i8.shr, i8.sub, i8.xor
+// delay FIFOs: depth 8 per operand
+module pe_50 (
+  input  wire clk,
+  input  wire rst,
+  input  wire [511:0] operand0,
+  input  wire operand0_valid,
+  input  wire [511:0] operand1,
+  input  wire operand1_valid,
+  input  wire [511:0] operand2,
+  input  wire operand2_valid,
+  output wire [511:0] result,
+  output wire result_valid
+);
+  // Dedicated-dataflow datapath (configured instruction; fires when all
+  // operands are valid). Functional units: f32.abs, f32.add, f32.cmp, f32.div, f32.max, f32.min, f32.mul, f32.select, f32.sqrt, f32.sub, f64.abs, f64.add, f64.cmp, f64.div, f64.max, f64.min, f64.mul, f64.select, f64.sqrt, f64.sub, i16.abs, i16.add, i16.and, i16.cmp, i16.div, i16.max, i16.min, i16.mul, i16.or, i16.select, i16.shl, i16.shr, i16.sub, i16.xor, i32.abs, i32.add, i32.and, i32.cmp, i32.div, i32.max, i32.min, i32.mul, i32.or, i32.select, i32.shl, i32.shr, i32.sub, i32.xor, i64.abs, i64.add, i64.and, i64.cmp, i64.div, i64.max, i64.min, i64.mul, i64.or, i64.select, i64.shl, i64.shr, i64.sub, i64.xor, i8.abs, i8.add, i8.and, i8.cmp, i8.div, i8.max, i8.min, i8.mul, i8.or, i8.select, i8.shl, i8.shr, i8.sub, i8.xor.
+endmodule
+
+// Processing element: caps = f32.abs, f32.add, f32.cmp, f32.div, f32.max, f32.min, f32.mul, f32.select, f32.sqrt, f32.sub, f64.abs, f64.add, f64.cmp, f64.div, f64.max, f64.min, f64.mul, f64.select, f64.sqrt, f64.sub, i16.abs, i16.add, i16.and, i16.cmp, i16.div, i16.max, i16.min, i16.mul, i16.or, i16.select, i16.shl, i16.shr, i16.sub, i16.xor, i32.abs, i32.add, i32.and, i32.cmp, i32.div, i32.max, i32.min, i32.mul, i32.or, i32.select, i32.shl, i32.shr, i32.sub, i32.xor, i64.abs, i64.add, i64.and, i64.cmp, i64.div, i64.max, i64.min, i64.mul, i64.or, i64.select, i64.shl, i64.shr, i64.sub, i64.xor, i8.abs, i8.add, i8.and, i8.cmp, i8.div, i8.max, i8.min, i8.mul, i8.or, i8.select, i8.shl, i8.shr, i8.sub, i8.xor
+// delay FIFOs: depth 8 per operand
+module pe_51 (
+  input  wire clk,
+  input  wire rst,
+  input  wire [511:0] operand0,
+  input  wire operand0_valid,
+  input  wire [511:0] operand1,
+  input  wire operand1_valid,
+  input  wire [511:0] operand2,
+  input  wire operand2_valid,
+  output wire [511:0] result,
+  output wire result_valid
+);
+  // Dedicated-dataflow datapath (configured instruction; fires when all
+  // operands are valid). Functional units: f32.abs, f32.add, f32.cmp, f32.div, f32.max, f32.min, f32.mul, f32.select, f32.sqrt, f32.sub, f64.abs, f64.add, f64.cmp, f64.div, f64.max, f64.min, f64.mul, f64.select, f64.sqrt, f64.sub, i16.abs, i16.add, i16.and, i16.cmp, i16.div, i16.max, i16.min, i16.mul, i16.or, i16.select, i16.shl, i16.shr, i16.sub, i16.xor, i32.abs, i32.add, i32.and, i32.cmp, i32.div, i32.max, i32.min, i32.mul, i32.or, i32.select, i32.shl, i32.shr, i32.sub, i32.xor, i64.abs, i64.add, i64.and, i64.cmp, i64.div, i64.max, i64.min, i64.mul, i64.or, i64.select, i64.shl, i64.shr, i64.sub, i64.xor, i8.abs, i8.add, i8.and, i8.cmp, i8.div, i8.max, i8.min, i8.mul, i8.or, i8.select, i8.shl, i8.shr, i8.sub, i8.xor.
+endmodule
+
+// Processing element: caps = f32.abs, f32.add, f32.cmp, f32.div, f32.max, f32.min, f32.mul, f32.select, f32.sqrt, f32.sub, f64.abs, f64.add, f64.cmp, f64.div, f64.max, f64.min, f64.mul, f64.select, f64.sqrt, f64.sub, i16.abs, i16.add, i16.and, i16.cmp, i16.div, i16.max, i16.min, i16.mul, i16.or, i16.select, i16.shl, i16.shr, i16.sub, i16.xor, i32.abs, i32.add, i32.and, i32.cmp, i32.div, i32.max, i32.min, i32.mul, i32.or, i32.select, i32.shl, i32.shr, i32.sub, i32.xor, i64.abs, i64.add, i64.and, i64.cmp, i64.div, i64.max, i64.min, i64.mul, i64.or, i64.select, i64.shl, i64.shr, i64.sub, i64.xor, i8.abs, i8.add, i8.and, i8.cmp, i8.div, i8.max, i8.min, i8.mul, i8.or, i8.select, i8.shl, i8.shr, i8.sub, i8.xor
+// delay FIFOs: depth 8 per operand
+module pe_52 (
+  input  wire clk,
+  input  wire rst,
+  input  wire [511:0] operand0,
+  input  wire operand0_valid,
+  input  wire [511:0] operand1,
+  input  wire operand1_valid,
+  input  wire [511:0] operand2,
+  input  wire operand2_valid,
+  output wire [511:0] result,
+  output wire result_valid
+);
+  // Dedicated-dataflow datapath (configured instruction; fires when all
+  // operands are valid). Functional units: f32.abs, f32.add, f32.cmp, f32.div, f32.max, f32.min, f32.mul, f32.select, f32.sqrt, f32.sub, f64.abs, f64.add, f64.cmp, f64.div, f64.max, f64.min, f64.mul, f64.select, f64.sqrt, f64.sub, i16.abs, i16.add, i16.and, i16.cmp, i16.div, i16.max, i16.min, i16.mul, i16.or, i16.select, i16.shl, i16.shr, i16.sub, i16.xor, i32.abs, i32.add, i32.and, i32.cmp, i32.div, i32.max, i32.min, i32.mul, i32.or, i32.select, i32.shl, i32.shr, i32.sub, i32.xor, i64.abs, i64.add, i64.and, i64.cmp, i64.div, i64.max, i64.min, i64.mul, i64.or, i64.select, i64.shl, i64.shr, i64.sub, i64.xor, i8.abs, i8.add, i8.and, i8.cmp, i8.div, i8.max, i8.min, i8.mul, i8.or, i8.select, i8.shl, i8.shr, i8.sub, i8.xor.
+endmodule
+
+// Processing element: caps = f32.abs, f32.add, f32.cmp, f32.div, f32.max, f32.min, f32.mul, f32.select, f32.sqrt, f32.sub, f64.abs, f64.add, f64.cmp, f64.div, f64.max, f64.min, f64.mul, f64.select, f64.sqrt, f64.sub, i16.abs, i16.add, i16.and, i16.cmp, i16.div, i16.max, i16.min, i16.mul, i16.or, i16.select, i16.shl, i16.shr, i16.sub, i16.xor, i32.abs, i32.add, i32.and, i32.cmp, i32.div, i32.max, i32.min, i32.mul, i32.or, i32.select, i32.shl, i32.shr, i32.sub, i32.xor, i64.abs, i64.add, i64.and, i64.cmp, i64.div, i64.max, i64.min, i64.mul, i64.or, i64.select, i64.shl, i64.shr, i64.sub, i64.xor, i8.abs, i8.add, i8.and, i8.cmp, i8.div, i8.max, i8.min, i8.mul, i8.or, i8.select, i8.shl, i8.shr, i8.sub, i8.xor
+// delay FIFOs: depth 8 per operand
+module pe_53 (
+  input  wire clk,
+  input  wire rst,
+  input  wire [511:0] operand0,
+  input  wire operand0_valid,
+  input  wire [511:0] operand1,
+  input  wire operand1_valid,
+  input  wire [511:0] operand2,
+  input  wire operand2_valid,
+  output wire [511:0] result,
+  output wire result_valid
+);
+  // Dedicated-dataflow datapath (configured instruction; fires when all
+  // operands are valid). Functional units: f32.abs, f32.add, f32.cmp, f32.div, f32.max, f32.min, f32.mul, f32.select, f32.sqrt, f32.sub, f64.abs, f64.add, f64.cmp, f64.div, f64.max, f64.min, f64.mul, f64.select, f64.sqrt, f64.sub, i16.abs, i16.add, i16.and, i16.cmp, i16.div, i16.max, i16.min, i16.mul, i16.or, i16.select, i16.shl, i16.shr, i16.sub, i16.xor, i32.abs, i32.add, i32.and, i32.cmp, i32.div, i32.max, i32.min, i32.mul, i32.or, i32.select, i32.shl, i32.shr, i32.sub, i32.xor, i64.abs, i64.add, i64.and, i64.cmp, i64.div, i64.max, i64.min, i64.mul, i64.or, i64.select, i64.shl, i64.shr, i64.sub, i64.xor, i8.abs, i8.add, i8.and, i8.cmp, i8.div, i8.max, i8.min, i8.mul, i8.or, i8.select, i8.shl, i8.shr, i8.sub, i8.xor.
+endmodule
+
+// Processing element: caps = f32.abs, f32.add, f32.cmp, f32.div, f32.max, f32.min, f32.mul, f32.select, f32.sqrt, f32.sub, f64.abs, f64.add, f64.cmp, f64.div, f64.max, f64.min, f64.mul, f64.select, f64.sqrt, f64.sub, i16.abs, i16.add, i16.and, i16.cmp, i16.div, i16.max, i16.min, i16.mul, i16.or, i16.select, i16.shl, i16.shr, i16.sub, i16.xor, i32.abs, i32.add, i32.and, i32.cmp, i32.div, i32.max, i32.min, i32.mul, i32.or, i32.select, i32.shl, i32.shr, i32.sub, i32.xor, i64.abs, i64.add, i64.and, i64.cmp, i64.div, i64.max, i64.min, i64.mul, i64.or, i64.select, i64.shl, i64.shr, i64.sub, i64.xor, i8.abs, i8.add, i8.and, i8.cmp, i8.div, i8.max, i8.min, i8.mul, i8.or, i8.select, i8.shl, i8.shr, i8.sub, i8.xor
+// delay FIFOs: depth 8 per operand
+module pe_54 (
+  input  wire clk,
+  input  wire rst,
+  input  wire [511:0] operand0,
+  input  wire operand0_valid,
+  input  wire [511:0] operand1,
+  input  wire operand1_valid,
+  input  wire [511:0] operand2,
+  input  wire operand2_valid,
+  output wire [511:0] result,
+  output wire result_valid
+);
+  // Dedicated-dataflow datapath (configured instruction; fires when all
+  // operands are valid). Functional units: f32.abs, f32.add, f32.cmp, f32.div, f32.max, f32.min, f32.mul, f32.select, f32.sqrt, f32.sub, f64.abs, f64.add, f64.cmp, f64.div, f64.max, f64.min, f64.mul, f64.select, f64.sqrt, f64.sub, i16.abs, i16.add, i16.and, i16.cmp, i16.div, i16.max, i16.min, i16.mul, i16.or, i16.select, i16.shl, i16.shr, i16.sub, i16.xor, i32.abs, i32.add, i32.and, i32.cmp, i32.div, i32.max, i32.min, i32.mul, i32.or, i32.select, i32.shl, i32.shr, i32.sub, i32.xor, i64.abs, i64.add, i64.and, i64.cmp, i64.div, i64.max, i64.min, i64.mul, i64.or, i64.select, i64.shl, i64.shr, i64.sub, i64.xor, i8.abs, i8.add, i8.and, i8.cmp, i8.div, i8.max, i8.min, i8.mul, i8.or, i8.select, i8.shl, i8.shr, i8.sub, i8.xor.
+endmodule
+
+// Processing element: caps = f32.abs, f32.add, f32.cmp, f32.div, f32.max, f32.min, f32.mul, f32.select, f32.sqrt, f32.sub, f64.abs, f64.add, f64.cmp, f64.div, f64.max, f64.min, f64.mul, f64.select, f64.sqrt, f64.sub, i16.abs, i16.add, i16.and, i16.cmp, i16.div, i16.max, i16.min, i16.mul, i16.or, i16.select, i16.shl, i16.shr, i16.sub, i16.xor, i32.abs, i32.add, i32.and, i32.cmp, i32.div, i32.max, i32.min, i32.mul, i32.or, i32.select, i32.shl, i32.shr, i32.sub, i32.xor, i64.abs, i64.add, i64.and, i64.cmp, i64.div, i64.max, i64.min, i64.mul, i64.or, i64.select, i64.shl, i64.shr, i64.sub, i64.xor, i8.abs, i8.add, i8.and, i8.cmp, i8.div, i8.max, i8.min, i8.mul, i8.or, i8.select, i8.shl, i8.shr, i8.sub, i8.xor
+// delay FIFOs: depth 8 per operand
+module pe_55 (
+  input  wire clk,
+  input  wire rst,
+  input  wire [511:0] operand0,
+  input  wire operand0_valid,
+  input  wire [511:0] operand1,
+  input  wire operand1_valid,
+  input  wire [511:0] operand2,
+  input  wire operand2_valid,
+  output wire [511:0] result,
+  output wire result_valid
+);
+  // Dedicated-dataflow datapath (configured instruction; fires when all
+  // operands are valid). Functional units: f32.abs, f32.add, f32.cmp, f32.div, f32.max, f32.min, f32.mul, f32.select, f32.sqrt, f32.sub, f64.abs, f64.add, f64.cmp, f64.div, f64.max, f64.min, f64.mul, f64.select, f64.sqrt, f64.sub, i16.abs, i16.add, i16.and, i16.cmp, i16.div, i16.max, i16.min, i16.mul, i16.or, i16.select, i16.shl, i16.shr, i16.sub, i16.xor, i32.abs, i32.add, i32.and, i32.cmp, i32.div, i32.max, i32.min, i32.mul, i32.or, i32.select, i32.shl, i32.shr, i32.sub, i32.xor, i64.abs, i64.add, i64.and, i64.cmp, i64.div, i64.max, i64.min, i64.mul, i64.or, i64.select, i64.shl, i64.shr, i64.sub, i64.xor, i8.abs, i8.add, i8.and, i8.cmp, i8.div, i8.max, i8.min, i8.mul, i8.or, i8.select, i8.shl, i8.shr, i8.sub, i8.xor.
+endmodule
+
+// Processing element: caps = f32.abs, f32.add, f32.cmp, f32.div, f32.max, f32.min, f32.mul, f32.select, f32.sqrt, f32.sub, f64.abs, f64.add, f64.cmp, f64.div, f64.max, f64.min, f64.mul, f64.select, f64.sqrt, f64.sub, i16.abs, i16.add, i16.and, i16.cmp, i16.div, i16.max, i16.min, i16.mul, i16.or, i16.select, i16.shl, i16.shr, i16.sub, i16.xor, i32.abs, i32.add, i32.and, i32.cmp, i32.div, i32.max, i32.min, i32.mul, i32.or, i32.select, i32.shl, i32.shr, i32.sub, i32.xor, i64.abs, i64.add, i64.and, i64.cmp, i64.div, i64.max, i64.min, i64.mul, i64.or, i64.select, i64.shl, i64.shr, i64.sub, i64.xor, i8.abs, i8.add, i8.and, i8.cmp, i8.div, i8.max, i8.min, i8.mul, i8.or, i8.select, i8.shl, i8.shr, i8.sub, i8.xor
+// delay FIFOs: depth 8 per operand
+module pe_56 (
+  input  wire clk,
+  input  wire rst,
+  input  wire [511:0] operand0,
+  input  wire operand0_valid,
+  input  wire [511:0] operand1,
+  input  wire operand1_valid,
+  input  wire [511:0] operand2,
+  input  wire operand2_valid,
+  output wire [511:0] result,
+  output wire result_valid
+);
+  // Dedicated-dataflow datapath (configured instruction; fires when all
+  // operands are valid). Functional units: f32.abs, f32.add, f32.cmp, f32.div, f32.max, f32.min, f32.mul, f32.select, f32.sqrt, f32.sub, f64.abs, f64.add, f64.cmp, f64.div, f64.max, f64.min, f64.mul, f64.select, f64.sqrt, f64.sub, i16.abs, i16.add, i16.and, i16.cmp, i16.div, i16.max, i16.min, i16.mul, i16.or, i16.select, i16.shl, i16.shr, i16.sub, i16.xor, i32.abs, i32.add, i32.and, i32.cmp, i32.div, i32.max, i32.min, i32.mul, i32.or, i32.select, i32.shl, i32.shr, i32.sub, i32.xor, i64.abs, i64.add, i64.and, i64.cmp, i64.div, i64.max, i64.min, i64.mul, i64.or, i64.select, i64.shl, i64.shr, i64.sub, i64.xor, i8.abs, i8.add, i8.and, i8.cmp, i8.div, i8.max, i8.min, i8.mul, i8.or, i8.select, i8.shl, i8.shr, i8.sub, i8.xor.
+endmodule
+
+// Processing element: caps = f32.abs, f32.add, f32.cmp, f32.div, f32.max, f32.min, f32.mul, f32.select, f32.sqrt, f32.sub, f64.abs, f64.add, f64.cmp, f64.div, f64.max, f64.min, f64.mul, f64.select, f64.sqrt, f64.sub, i16.abs, i16.add, i16.and, i16.cmp, i16.div, i16.max, i16.min, i16.mul, i16.or, i16.select, i16.shl, i16.shr, i16.sub, i16.xor, i32.abs, i32.add, i32.and, i32.cmp, i32.div, i32.max, i32.min, i32.mul, i32.or, i32.select, i32.shl, i32.shr, i32.sub, i32.xor, i64.abs, i64.add, i64.and, i64.cmp, i64.div, i64.max, i64.min, i64.mul, i64.or, i64.select, i64.shl, i64.shr, i64.sub, i64.xor, i8.abs, i8.add, i8.and, i8.cmp, i8.div, i8.max, i8.min, i8.mul, i8.or, i8.select, i8.shl, i8.shr, i8.sub, i8.xor
+// delay FIFOs: depth 8 per operand
+module pe_57 (
+  input  wire clk,
+  input  wire rst,
+  input  wire [511:0] operand0,
+  input  wire operand0_valid,
+  input  wire [511:0] operand1,
+  input  wire operand1_valid,
+  input  wire [511:0] operand2,
+  input  wire operand2_valid,
+  output wire [511:0] result,
+  output wire result_valid
+);
+  // Dedicated-dataflow datapath (configured instruction; fires when all
+  // operands are valid). Functional units: f32.abs, f32.add, f32.cmp, f32.div, f32.max, f32.min, f32.mul, f32.select, f32.sqrt, f32.sub, f64.abs, f64.add, f64.cmp, f64.div, f64.max, f64.min, f64.mul, f64.select, f64.sqrt, f64.sub, i16.abs, i16.add, i16.and, i16.cmp, i16.div, i16.max, i16.min, i16.mul, i16.or, i16.select, i16.shl, i16.shr, i16.sub, i16.xor, i32.abs, i32.add, i32.and, i32.cmp, i32.div, i32.max, i32.min, i32.mul, i32.or, i32.select, i32.shl, i32.shr, i32.sub, i32.xor, i64.abs, i64.add, i64.and, i64.cmp, i64.div, i64.max, i64.min, i64.mul, i64.or, i64.select, i64.shl, i64.shr, i64.sub, i64.xor, i8.abs, i8.add, i8.and, i8.cmp, i8.div, i8.max, i8.min, i8.mul, i8.or, i8.select, i8.shl, i8.shr, i8.sub, i8.xor.
+endmodule
+
+// Processing element: caps = f32.abs, f32.add, f32.cmp, f32.div, f32.max, f32.min, f32.mul, f32.select, f32.sqrt, f32.sub, f64.abs, f64.add, f64.cmp, f64.div, f64.max, f64.min, f64.mul, f64.select, f64.sqrt, f64.sub, i16.abs, i16.add, i16.and, i16.cmp, i16.div, i16.max, i16.min, i16.mul, i16.or, i16.select, i16.shl, i16.shr, i16.sub, i16.xor, i32.abs, i32.add, i32.and, i32.cmp, i32.div, i32.max, i32.min, i32.mul, i32.or, i32.select, i32.shl, i32.shr, i32.sub, i32.xor, i64.abs, i64.add, i64.and, i64.cmp, i64.div, i64.max, i64.min, i64.mul, i64.or, i64.select, i64.shl, i64.shr, i64.sub, i64.xor, i8.abs, i8.add, i8.and, i8.cmp, i8.div, i8.max, i8.min, i8.mul, i8.or, i8.select, i8.shl, i8.shr, i8.sub, i8.xor
+// delay FIFOs: depth 8 per operand
+module pe_58 (
+  input  wire clk,
+  input  wire rst,
+  input  wire [511:0] operand0,
+  input  wire operand0_valid,
+  input  wire [511:0] operand1,
+  input  wire operand1_valid,
+  input  wire [511:0] operand2,
+  input  wire operand2_valid,
+  output wire [511:0] result,
+  output wire result_valid
+);
+  // Dedicated-dataflow datapath (configured instruction; fires when all
+  // operands are valid). Functional units: f32.abs, f32.add, f32.cmp, f32.div, f32.max, f32.min, f32.mul, f32.select, f32.sqrt, f32.sub, f64.abs, f64.add, f64.cmp, f64.div, f64.max, f64.min, f64.mul, f64.select, f64.sqrt, f64.sub, i16.abs, i16.add, i16.and, i16.cmp, i16.div, i16.max, i16.min, i16.mul, i16.or, i16.select, i16.shl, i16.shr, i16.sub, i16.xor, i32.abs, i32.add, i32.and, i32.cmp, i32.div, i32.max, i32.min, i32.mul, i32.or, i32.select, i32.shl, i32.shr, i32.sub, i32.xor, i64.abs, i64.add, i64.and, i64.cmp, i64.div, i64.max, i64.min, i64.mul, i64.or, i64.select, i64.shl, i64.shr, i64.sub, i64.xor, i8.abs, i8.add, i8.and, i8.cmp, i8.div, i8.max, i8.min, i8.mul, i8.or, i8.select, i8.shl, i8.shr, i8.sub, i8.xor.
+endmodule
+
+// Circuit-switched operand router (3 in x 3 out)
+module sw_0 (
+  input  wire clk,
+  input  wire rst,
+  input  wire [1535:0] in_bus,
+  input  wire [2:0] in_valid,
+  output wire [1535:0] out_bus,
+  output wire [2:0] out_valid,
+  input  wire [8:0] route_config
+);
+  // Statically-configured crossbar: each output selects one input.
+endmodule
+
+// Circuit-switched operand router (4 in x 5 out)
+module sw_1 (
+  input  wire clk,
+  input  wire rst,
+  input  wire [2047:0] in_bus,
+  input  wire [3:0] in_valid,
+  output wire [2559:0] out_bus,
+  output wire [4:0] out_valid,
+  input  wire [19:0] route_config
+);
+  // Statically-configured crossbar: each output selects one input.
+endmodule
+
+// Circuit-switched operand router (4 in x 5 out)
+module sw_2 (
+  input  wire clk,
+  input  wire rst,
+  input  wire [2047:0] in_bus,
+  input  wire [3:0] in_valid,
+  output wire [2559:0] out_bus,
+  output wire [4:0] out_valid,
+  input  wire [19:0] route_config
+);
+  // Statically-configured crossbar: each output selects one input.
+endmodule
+
+// Circuit-switched operand router (4 in x 5 out)
+module sw_3 (
+  input  wire clk,
+  input  wire rst,
+  input  wire [2047:0] in_bus,
+  input  wire [3:0] in_valid,
+  output wire [2559:0] out_bus,
+  output wire [4:0] out_valid,
+  input  wire [19:0] route_config
+);
+  // Statically-configured crossbar: each output selects one input.
+endmodule
+
+// Circuit-switched operand router (4 in x 5 out)
+module sw_4 (
+  input  wire clk,
+  input  wire rst,
+  input  wire [2047:0] in_bus,
+  input  wire [3:0] in_valid,
+  output wire [2559:0] out_bus,
+  output wire [4:0] out_valid,
+  input  wire [19:0] route_config
+);
+  // Statically-configured crossbar: each output selects one input.
+endmodule
+
+// Circuit-switched operand router (4 in x 5 out)
+module sw_5 (
+  input  wire clk,
+  input  wire rst,
+  input  wire [2047:0] in_bus,
+  input  wire [3:0] in_valid,
+  output wire [2559:0] out_bus,
+  output wire [4:0] out_valid,
+  input  wire [19:0] route_config
+);
+  // Statically-configured crossbar: each output selects one input.
+endmodule
+
+// Circuit-switched operand router (2 in x 3 out)
+module sw_6 (
+  input  wire clk,
+  input  wire rst,
+  input  wire [1023:0] in_bus,
+  input  wire [1:0] in_valid,
+  output wire [1535:0] out_bus,
+  output wire [2:0] out_valid,
+  input  wire [5:0] route_config
+);
+  // Statically-configured crossbar: each output selects one input.
+endmodule
+
+// Circuit-switched operand router (2 in x 4 out)
+module sw_7 (
+  input  wire clk,
+  input  wire rst,
+  input  wire [1023:0] in_bus,
+  input  wire [1:0] in_valid,
+  output wire [2047:0] out_bus,
+  output wire [3:0] out_valid,
+  input  wire [7:0] route_config
+);
+  // Statically-configured crossbar: each output selects one input.
+endmodule
+
+// Circuit-switched operand router (4 in x 6 out)
+module sw_8 (
+  input  wire clk,
+  input  wire rst,
+  input  wire [2047:0] in_bus,
+  input  wire [3:0] in_valid,
+  output wire [3071:0] out_bus,
+  output wire [5:0] out_valid,
+  input  wire [23:0] route_config
+);
+  // Statically-configured crossbar: each output selects one input.
+endmodule
+
+// Circuit-switched operand router (4 in x 6 out)
+module sw_9 (
+  input  wire clk,
+  input  wire rst,
+  input  wire [2047:0] in_bus,
+  input  wire [3:0] in_valid,
+  output wire [3071:0] out_bus,
+  output wire [5:0] out_valid,
+  input  wire [23:0] route_config
+);
+  // Statically-configured crossbar: each output selects one input.
+endmodule
+
+// Circuit-switched operand router (4 in x 6 out)
+module sw_10 (
+  input  wire clk,
+  input  wire rst,
+  input  wire [2047:0] in_bus,
+  input  wire [3:0] in_valid,
+  output wire [3071:0] out_bus,
+  output wire [5:0] out_valid,
+  input  wire [23:0] route_config
+);
+  // Statically-configured crossbar: each output selects one input.
+endmodule
+
+// Circuit-switched operand router (4 in x 6 out)
+module sw_11 (
+  input  wire clk,
+  input  wire rst,
+  input  wire [2047:0] in_bus,
+  input  wire [3:0] in_valid,
+  output wire [3071:0] out_bus,
+  output wire [5:0] out_valid,
+  input  wire [23:0] route_config
+);
+  // Statically-configured crossbar: each output selects one input.
+endmodule
+
+// Circuit-switched operand router (4 in x 6 out)
+module sw_12 (
+  input  wire clk,
+  input  wire rst,
+  input  wire [2047:0] in_bus,
+  input  wire [3:0] in_valid,
+  output wire [3071:0] out_bus,
+  output wire [5:0] out_valid,
+  input  wire [23:0] route_config
+);
+  // Statically-configured crossbar: each output selects one input.
+endmodule
+
+// Circuit-switched operand router (3 in x 3 out)
+module sw_13 (
+  input  wire clk,
+  input  wire rst,
+  input  wire [1535:0] in_bus,
+  input  wire [2:0] in_valid,
+  output wire [1535:0] out_bus,
+  output wire [2:0] out_valid,
+  input  wire [8:0] route_config
+);
+  // Statically-configured crossbar: each output selects one input.
+endmodule
+
+// Circuit-switched operand router (2 in x 4 out)
+module sw_14 (
+  input  wire clk,
+  input  wire rst,
+  input  wire [1023:0] in_bus,
+  input  wire [1:0] in_valid,
+  output wire [2047:0] out_bus,
+  output wire [3:0] out_valid,
+  input  wire [7:0] route_config
+);
+  // Statically-configured crossbar: each output selects one input.
+endmodule
+
+// Circuit-switched operand router (4 in x 6 out)
+module sw_15 (
+  input  wire clk,
+  input  wire rst,
+  input  wire [2047:0] in_bus,
+  input  wire [3:0] in_valid,
+  output wire [3071:0] out_bus,
+  output wire [5:0] out_valid,
+  input  wire [23:0] route_config
+);
+  // Statically-configured crossbar: each output selects one input.
+endmodule
+
+// Circuit-switched operand router (4 in x 6 out)
+module sw_16 (
+  input  wire clk,
+  input  wire rst,
+  input  wire [2047:0] in_bus,
+  input  wire [3:0] in_valid,
+  output wire [3071:0] out_bus,
+  output wire [5:0] out_valid,
+  input  wire [23:0] route_config
+);
+  // Statically-configured crossbar: each output selects one input.
+endmodule
+
+// Circuit-switched operand router (4 in x 6 out)
+module sw_17 (
+  input  wire clk,
+  input  wire rst,
+  input  wire [2047:0] in_bus,
+  input  wire [3:0] in_valid,
+  output wire [3071:0] out_bus,
+  output wire [5:0] out_valid,
+  input  wire [23:0] route_config
+);
+  // Statically-configured crossbar: each output selects one input.
+endmodule
+
+// Circuit-switched operand router (4 in x 6 out)
+module sw_18 (
+  input  wire clk,
+  input  wire rst,
+  input  wire [2047:0] in_bus,
+  input  wire [3:0] in_valid,
+  output wire [3071:0] out_bus,
+  output wire [5:0] out_valid,
+  input  wire [23:0] route_config
+);
+  // Statically-configured crossbar: each output selects one input.
+endmodule
+
+// Circuit-switched operand router (4 in x 6 out)
+module sw_19 (
+  input  wire clk,
+  input  wire rst,
+  input  wire [2047:0] in_bus,
+  input  wire [3:0] in_valid,
+  output wire [3071:0] out_bus,
+  output wire [5:0] out_valid,
+  input  wire [23:0] route_config
+);
+  // Statically-configured crossbar: each output selects one input.
+endmodule
+
+// Circuit-switched operand router (3 in x 3 out)
+module sw_20 (
+  input  wire clk,
+  input  wire rst,
+  input  wire [1535:0] in_bus,
+  input  wire [2:0] in_valid,
+  output wire [1535:0] out_bus,
+  output wire [2:0] out_valid,
+  input  wire [8:0] route_config
+);
+  // Statically-configured crossbar: each output selects one input.
+endmodule
+
+// Circuit-switched operand router (2 in x 4 out)
+module sw_21 (
+  input  wire clk,
+  input  wire rst,
+  input  wire [1023:0] in_bus,
+  input  wire [1:0] in_valid,
+  output wire [2047:0] out_bus,
+  output wire [3:0] out_valid,
+  input  wire [7:0] route_config
+);
+  // Statically-configured crossbar: each output selects one input.
+endmodule
+
+// Circuit-switched operand router (4 in x 6 out)
+module sw_22 (
+  input  wire clk,
+  input  wire rst,
+  input  wire [2047:0] in_bus,
+  input  wire [3:0] in_valid,
+  output wire [3071:0] out_bus,
+  output wire [5:0] out_valid,
+  input  wire [23:0] route_config
+);
+  // Statically-configured crossbar: each output selects one input.
+endmodule
+
+// Circuit-switched operand router (4 in x 6 out)
+module sw_23 (
+  input  wire clk,
+  input  wire rst,
+  input  wire [2047:0] in_bus,
+  input  wire [3:0] in_valid,
+  output wire [3071:0] out_bus,
+  output wire [5:0] out_valid,
+  input  wire [23:0] route_config
+);
+  // Statically-configured crossbar: each output selects one input.
+endmodule
+
+// Circuit-switched operand router (4 in x 6 out)
+module sw_24 (
+  input  wire clk,
+  input  wire rst,
+  input  wire [2047:0] in_bus,
+  input  wire [3:0] in_valid,
+  output wire [3071:0] out_bus,
+  output wire [5:0] out_valid,
+  input  wire [23:0] route_config
+);
+  // Statically-configured crossbar: each output selects one input.
+endmodule
+
+// Circuit-switched operand router (4 in x 6 out)
+module sw_25 (
+  input  wire clk,
+  input  wire rst,
+  input  wire [2047:0] in_bus,
+  input  wire [3:0] in_valid,
+  output wire [3071:0] out_bus,
+  output wire [5:0] out_valid,
+  input  wire [23:0] route_config
+);
+  // Statically-configured crossbar: each output selects one input.
+endmodule
+
+// Circuit-switched operand router (4 in x 6 out)
+module sw_26 (
+  input  wire clk,
+  input  wire rst,
+  input  wire [2047:0] in_bus,
+  input  wire [3:0] in_valid,
+  output wire [3071:0] out_bus,
+  output wire [5:0] out_valid,
+  input  wire [23:0] route_config
+);
+  // Statically-configured crossbar: each output selects one input.
+endmodule
+
+// Circuit-switched operand router (3 in x 3 out)
+module sw_27 (
+  input  wire clk,
+  input  wire rst,
+  input  wire [1535:0] in_bus,
+  input  wire [2:0] in_valid,
+  output wire [1535:0] out_bus,
+  output wire [2:0] out_valid,
+  input  wire [8:0] route_config
+);
+  // Statically-configured crossbar: each output selects one input.
+endmodule
+
+// Circuit-switched operand router (2 in x 4 out)
+module sw_28 (
+  input  wire clk,
+  input  wire rst,
+  input  wire [1023:0] in_bus,
+  input  wire [1:0] in_valid,
+  output wire [2047:0] out_bus,
+  output wire [3:0] out_valid,
+  input  wire [7:0] route_config
+);
+  // Statically-configured crossbar: each output selects one input.
+endmodule
+
+// Circuit-switched operand router (4 in x 4 out)
+module sw_29 (
+  input  wire clk,
+  input  wire rst,
+  input  wire [2047:0] in_bus,
+  input  wire [3:0] in_valid,
+  output wire [2047:0] out_bus,
+  output wire [3:0] out_valid,
+  input  wire [15:0] route_config
+);
+  // Statically-configured crossbar: each output selects one input.
+endmodule
+
+// Circuit-switched operand router (4 in x 4 out)
+module sw_30 (
+  input  wire clk,
+  input  wire rst,
+  input  wire [2047:0] in_bus,
+  input  wire [3:0] in_valid,
+  output wire [2047:0] out_bus,
+  output wire [3:0] out_valid,
+  input  wire [15:0] route_config
+);
+  // Statically-configured crossbar: each output selects one input.
+endmodule
+
+// Circuit-switched operand router (4 in x 4 out)
+module sw_31 (
+  input  wire clk,
+  input  wire rst,
+  input  wire [2047:0] in_bus,
+  input  wire [3:0] in_valid,
+  output wire [2047:0] out_bus,
+  output wire [3:0] out_valid,
+  input  wire [15:0] route_config
+);
+  // Statically-configured crossbar: each output selects one input.
+endmodule
+
+// Circuit-switched operand router (4 in x 4 out)
+module sw_32 (
+  input  wire clk,
+  input  wire rst,
+  input  wire [2047:0] in_bus,
+  input  wire [3:0] in_valid,
+  output wire [2047:0] out_bus,
+  output wire [3:0] out_valid,
+  input  wire [15:0] route_config
+);
+  // Statically-configured crossbar: each output selects one input.
+endmodule
+
+// Circuit-switched operand router (4 in x 4 out)
+module sw_33 (
+  input  wire clk,
+  input  wire rst,
+  input  wire [2047:0] in_bus,
+  input  wire [3:0] in_valid,
+  output wire [2047:0] out_bus,
+  output wire [3:0] out_valid,
+  input  wire [15:0] route_config
+);
+  // Statically-configured crossbar: each output selects one input.
+endmodule
+
+// Circuit-switched operand router (3 in x 2 out)
+module sw_34 (
+  input  wire clk,
+  input  wire rst,
+  input  wire [1535:0] in_bus,
+  input  wire [2:0] in_valid,
+  output wire [1023:0] out_bus,
+  output wire [1:0] out_valid,
+  input  wire [5:0] route_config
+);
+  // Statically-configured crossbar: each output selects one input.
+endmodule
+
+// padding=True meta=True fifo_depth=4
+module ip_59 (  // vector input port, 64 B/cyc
+  input  wire clk,
+  input  wire rst,
+  input  wire [511:0] enq_data,
+  input  wire enq_valid,
+  output wire enq_ready,
+  output wire [511:0] deq_data,
+  output wire deq_valid,
+  input  wire deq_ready
+);
+endmodule
+
+// padding=True meta=True fifo_depth=4
+module ip_60 (  // vector input port, 32 B/cyc
+  input  wire clk,
+  input  wire rst,
+  input  wire [255:0] enq_data,
+  input  wire enq_valid,
+  output wire enq_ready,
+  output wire [255:0] deq_data,
+  output wire deq_valid,
+  input  wire deq_ready
+);
+endmodule
+
+// padding=True meta=True fifo_depth=4
+module ip_61 (  // vector input port, 32 B/cyc
+  input  wire clk,
+  input  wire rst,
+  input  wire [255:0] enq_data,
+  input  wire enq_valid,
+  output wire enq_ready,
+  output wire [255:0] deq_data,
+  output wire deq_valid,
+  input  wire deq_ready
+);
+endmodule
+
+// padding=True meta=True fifo_depth=4
+module ip_62 (  // vector input port, 16 B/cyc
+  input  wire clk,
+  input  wire rst,
+  input  wire [127:0] enq_data,
+  input  wire enq_valid,
+  output wire enq_ready,
+  output wire [127:0] deq_data,
+  output wire deq_valid,
+  input  wire deq_ready
+);
+endmodule
+
+// padding=True meta=True fifo_depth=4
+module ip_63 (  // vector input port, 16 B/cyc
+  input  wire clk,
+  input  wire rst,
+  input  wire [127:0] enq_data,
+  input  wire enq_valid,
+  output wire enq_ready,
+  output wire [127:0] deq_data,
+  output wire deq_valid,
+  input  wire deq_ready
+);
+endmodule
+
+// padding=True meta=True fifo_depth=4
+module ip_64 (  // vector input port, 16 B/cyc
+  input  wire clk,
+  input  wire rst,
+  input  wire [127:0] enq_data,
+  input  wire enq_valid,
+  output wire enq_ready,
+  output wire [127:0] deq_data,
+  output wire deq_valid,
+  input  wire deq_ready
+);
+endmodule
+
+// padding=True meta=True fifo_depth=4
+module ip_65 (  // vector input port, 8 B/cyc
+  input  wire clk,
+  input  wire rst,
+  input  wire [63:0] enq_data,
+  input  wire enq_valid,
+  output wire enq_ready,
+  output wire [63:0] deq_data,
+  output wire deq_valid,
+  input  wire deq_ready
+);
+endmodule
+
+// padding=True meta=True fifo_depth=4
+module ip_66 (  // vector input port, 8 B/cyc
+  input  wire clk,
+  input  wire rst,
+  input  wire [63:0] enq_data,
+  input  wire enq_valid,
+  output wire enq_ready,
+  output wire [63:0] deq_data,
+  output wire deq_valid,
+  input  wire deq_ready
+);
+endmodule
+
+// padding=True meta=True fifo_depth=4
+module ip_67 (  // vector input port, 8 B/cyc
+  input  wire clk,
+  input  wire rst,
+  input  wire [63:0] enq_data,
+  input  wire enq_valid,
+  output wire enq_ready,
+  output wire [63:0] deq_data,
+  output wire deq_valid,
+  input  wire deq_ready
+);
+endmodule
+
+// padding=True meta=True fifo_depth=4
+module ip_68 (  // vector input port, 8 B/cyc
+  input  wire clk,
+  input  wire rst,
+  input  wire [63:0] enq_data,
+  input  wire enq_valid,
+  output wire enq_ready,
+  output wire [63:0] deq_data,
+  output wire deq_valid,
+  input  wire deq_ready
+);
+endmodule
+
+// padding=True meta=True fifo_depth=4
+module ip_69 (  // vector input port, 8 B/cyc
+  input  wire clk,
+  input  wire rst,
+  input  wire [63:0] enq_data,
+  input  wire enq_valid,
+  output wire enq_ready,
+  output wire [63:0] deq_data,
+  output wire deq_valid,
+  input  wire deq_ready
+);
+endmodule
+
+// padding=True meta=True fifo_depth=4
+module ip_70 (  // vector input port, 4 B/cyc
+  input  wire clk,
+  input  wire rst,
+  input  wire [31:0] enq_data,
+  input  wire enq_valid,
+  output wire enq_ready,
+  output wire [31:0] deq_data,
+  output wire deq_valid,
+  input  wire deq_ready
+);
+endmodule
+
+// padding=True meta=True fifo_depth=4
+module ip_71 (  // vector input port, 4 B/cyc
+  input  wire clk,
+  input  wire rst,
+  input  wire [31:0] enq_data,
+  input  wire enq_valid,
+  output wire enq_ready,
+  output wire [31:0] deq_data,
+  output wire deq_valid,
+  input  wire deq_ready
+);
+endmodule
+
+
+module op_72 (  // vector output port, 64 B/cyc
+  input  wire clk,
+  input  wire rst,
+  input  wire [511:0] enq_data,
+  input  wire enq_valid,
+  output wire enq_ready,
+  output wire [511:0] deq_data,
+  output wire deq_valid,
+  input  wire deq_ready
+);
+endmodule
+
+
+module op_73 (  // vector output port, 32 B/cyc
+  input  wire clk,
+  input  wire rst,
+  input  wire [255:0] enq_data,
+  input  wire enq_valid,
+  output wire enq_ready,
+  output wire [255:0] deq_data,
+  output wire deq_valid,
+  input  wire deq_ready
+);
+endmodule
+
+
+module op_74 (  // vector output port, 16 B/cyc
+  input  wire clk,
+  input  wire rst,
+  input  wire [127:0] enq_data,
+  input  wire enq_valid,
+  output wire enq_ready,
+  output wire [127:0] deq_data,
+  output wire deq_valid,
+  input  wire deq_ready
+);
+endmodule
+
+
+module op_75 (  // vector output port, 16 B/cyc
+  input  wire clk,
+  input  wire rst,
+  input  wire [127:0] enq_data,
+  input  wire enq_valid,
+  output wire enq_ready,
+  output wire [127:0] deq_data,
+  output wire deq_valid,
+  input  wire deq_ready
+);
+endmodule
+
+
+module op_76 (  // vector output port, 8 B/cyc
+  input  wire clk,
+  input  wire rst,
+  input  wire [63:0] enq_data,
+  input  wire enq_valid,
+  output wire enq_ready,
+  output wire [63:0] deq_data,
+  output wire deq_valid,
+  input  wire deq_ready
+);
+endmodule
+
+
+module op_77 (  // vector output port, 8 B/cyc
+  input  wire clk,
+  input  wire rst,
+  input  wire [63:0] enq_data,
+  input  wire enq_valid,
+  output wire enq_ready,
+  output wire [63:0] deq_data,
+  output wire deq_valid,
+  input  wire deq_ready
+);
+endmodule
+
+
+module op_78 (  // vector output port, 8 B/cyc
+  input  wire clk,
+  input  wire rst,
+  input  wire [63:0] enq_data,
+  input  wire enq_valid,
+  output wire enq_ready,
+  output wire [63:0] deq_data,
+  output wire deq_valid,
+  input  wire deq_ready
+);
+endmodule
+
+
+module op_79 (  // vector output port, 8 B/cyc
+  input  wire clk,
+  input  wire rst,
+  input  wire [63:0] enq_data,
+  input  wire enq_valid,
+  output wire enq_ready,
+  output wire [63:0] deq_data,
+  output wire deq_valid,
+  input  wire deq_ready
+);
+endmodule
+
+// bandwidth 64 B/cyc, indirect=True, ROB 16 entries
+module dma_80 (
+  input  wire clk,
+  input  wire rst,
+  // stream-dispatcher command interface
+  input  wire [255:0] stream_entry,
+  input  wire stream_entry_valid,
+  output wire stream_done,
+  // memory-side data
+  output wire [511:0] rd_data,
+  output wire rd_valid,
+  input  wire [511:0] wr_data,
+  input  wire wr_valid
+);
+  // Stream Issue -> Stream Request -> Stream Generation pipeline with
+  // one-hot stream-table bypass (Fig. 11).
+endmodule
+
+// capacity 32768 B, rd/wr 32/32 B/cyc, indirect=True
+module spad_81 (
+  input  wire clk,
+  input  wire rst,
+  // stream-dispatcher command interface
+  input  wire [255:0] stream_entry,
+  input  wire stream_entry_valid,
+  output wire stream_done,
+  // memory-side data
+  output wire [511:0] rd_data,
+  output wire rd_valid,
+  input  wire [511:0] wr_data,
+  input  wire wr_valid
+);
+  // Stream Issue -> Stream Request -> Stream Generation pipeline with
+  // one-hot stream-table bypass (Fig. 11).
+endmodule
+
+
+module gen_82 (
+  input  wire clk,
+  input  wire rst,
+  // stream-dispatcher command interface
+  input  wire [255:0] stream_entry,
+  input  wire stream_entry_valid,
+  output wire stream_done,
+  // memory-side data
+  output wire [511:0] rd_data,
+  output wire rd_valid,
+  input  wire [511:0] wr_data,
+  input  wire wr_valid
+);
+  // Stream Issue -> Stream Request -> Stream Generation pipeline with
+  // one-hot stream-table bypass (Fig. 11).
+endmodule
+
+// buffer 4096 B
+module rec_83 (
+  input  wire clk,
+  input  wire rst,
+  // stream-dispatcher command interface
+  input  wire [255:0] stream_entry,
+  input  wire stream_entry_valid,
+  output wire stream_done,
+  // memory-side data
+  output wire [511:0] rd_data,
+  output wire rd_valid,
+  input  wire [511:0] wr_data,
+  input  wire wr_valid
+);
+  // Stream Issue -> Stream Request -> Stream Generation pipeline with
+  // one-hot stream-table bypass (Fig. 11).
+endmodule
+
+
+module reg_84 (
+  input  wire clk,
+  input  wire rst,
+  // stream-dispatcher command interface
+  input  wire [255:0] stream_entry,
+  input  wire stream_entry_valid,
+  output wire stream_done,
+  // memory-side data
+  output wire [511:0] rd_data,
+  output wire rd_valid,
+  input  wire [511:0] wr_data,
+  input  wire wr_valid
+);
+  // Stream Issue -> Stream Request -> Stream Generation pipeline with
+  // one-hot stream-table bypass (Fig. 11).
+endmodule
+
+module overgen_tile_0 (
+  input  wire clk,
+  input  wire rst,
+  // RoCC command interface from the control core
+  input  wire [63:0] rocc_cmd,
+  input  wire rocc_cmd_valid,
+  // TileLink memory interface
+  output wire [511:0] tl_a,
+  input  wire [511:0] tl_d
+);
+  // stream dispatcher
+  wire [255:0] dispatch_bus;
+  wire [511:0] link_0_1;  // sw0 -> sw1
+  wire [511:0] link_0_7;  // sw0 -> sw7
+  wire [511:0] link_0_35;  // sw0 -> pe35
+  wire [511:0] link_1_0;  // sw1 -> sw0
+  wire [511:0] link_1_2;  // sw1 -> sw2
+  wire [511:0] link_1_8;  // sw1 -> sw8
+  wire [511:0] link_1_35;  // sw1 -> pe35
+  wire [511:0] link_1_36;  // sw1 -> pe36
+  wire [511:0] link_2_1;  // sw2 -> sw1
+  wire [511:0] link_2_3;  // sw2 -> sw3
+  wire [511:0] link_2_9;  // sw2 -> sw9
+  wire [511:0] link_2_36;  // sw2 -> pe36
+  wire [511:0] link_2_37;  // sw2 -> pe37
+  wire [511:0] link_3_2;  // sw3 -> sw2
+  wire [511:0] link_3_4;  // sw3 -> sw4
+  wire [511:0] link_3_10;  // sw3 -> sw10
+  wire [511:0] link_3_37;  // sw3 -> pe37
+  wire [511:0] link_3_38;  // sw3 -> pe38
+  wire [511:0] link_4_3;  // sw4 -> sw3
+  wire [511:0] link_4_5;  // sw4 -> sw5
+  wire [511:0] link_4_11;  // sw4 -> sw11
+  wire [511:0] link_4_38;  // sw4 -> pe38
+  wire [511:0] link_4_39;  // sw4 -> pe39
+  wire [511:0] link_5_4;  // sw5 -> sw4
+  wire [511:0] link_5_6;  // sw5 -> sw6
+  wire [511:0] link_5_12;  // sw5 -> sw12
+  wire [511:0] link_5_39;  // sw5 -> pe39
+  wire [511:0] link_5_40;  // sw5 -> pe40
+  wire [511:0] link_6_5;  // sw6 -> sw5
+  wire [511:0] link_6_13;  // sw6 -> sw13
+  wire [511:0] link_6_40;  // sw6 -> pe40
+  wire [511:0] link_7_8;  // sw7 -> sw8
+  wire [511:0] link_7_14;  // sw7 -> sw14
+  wire [511:0] link_7_35;  // sw7 -> pe35
+  wire [511:0] link_7_41;  // sw7 -> pe41
+  wire [511:0] link_8_7;  // sw8 -> sw7
+  wire [511:0] link_8_9;  // sw8 -> sw9
+  wire [511:0] link_8_15;  // sw8 -> sw15
+  wire [511:0] link_8_36;  // sw8 -> pe36
+  wire [511:0] link_8_41;  // sw8 -> pe41
+  wire [511:0] link_8_42;  // sw8 -> pe42
+  wire [511:0] link_9_8;  // sw9 -> sw8
+  wire [511:0] link_9_10;  // sw9 -> sw10
+  wire [511:0] link_9_16;  // sw9 -> sw16
+  wire [511:0] link_9_37;  // sw9 -> pe37
+  wire [511:0] link_9_42;  // sw9 -> pe42
+  wire [511:0] link_9_43;  // sw9 -> pe43
+  wire [511:0] link_10_9;  // sw10 -> sw9
+  wire [511:0] link_10_11;  // sw10 -> sw11
+  wire [511:0] link_10_17;  // sw10 -> sw17
+  wire [511:0] link_10_38;  // sw10 -> pe38
+  wire [511:0] link_10_43;  // sw10 -> pe43
+  wire [511:0] link_10_44;  // sw10 -> pe44
+  wire [511:0] link_11_10;  // sw11 -> sw10
+  wire [511:0] link_11_12;  // sw11 -> sw12
+  wire [511:0] link_11_18;  // sw11 -> sw18
+  wire [511:0] link_11_39;  // sw11 -> pe39
+  wire [511:0] link_11_44;  // sw11 -> pe44
+  wire [511:0] link_11_45;  // sw11 -> pe45
+  wire [511:0] link_12_11;  // sw12 -> sw11
+  wire [511:0] link_12_13;  // sw12 -> sw13
+  wire [511:0] link_12_19;  // sw12 -> sw19
+  wire [511:0] link_12_40;  // sw12 -> pe40
+  wire [511:0] link_12_45;  // sw12 -> pe45
+  wire [511:0] link_12_46;  // sw12 -> pe46
+  wire [511:0] link_13_12;  // sw13 -> sw12
+  wire [511:0] link_13_20;  // sw13 -> sw20
+  wire [511:0] link_13_46;  // sw13 -> pe46
+  wire [511:0] link_14_15;  // sw14 -> sw15
+  wire [511:0] link_14_21;  // sw14 -> sw21
+  wire [511:0] link_14_41;  // sw14 -> pe41
+  wire [511:0] link_14_47;  // sw14 -> pe47
+  wire [511:0] link_15_14;  // sw15 -> sw14
+  wire [511:0] link_15_16;  // sw15 -> sw16
+  wire [511:0] link_15_22;  // sw15 -> sw22
+  wire [511:0] link_15_42;  // sw15 -> pe42
+  wire [511:0] link_15_47;  // sw15 -> pe47
+  wire [511:0] link_15_48;  // sw15 -> pe48
+  wire [511:0] link_16_15;  // sw16 -> sw15
+  wire [511:0] link_16_17;  // sw16 -> sw17
+  wire [511:0] link_16_23;  // sw16 -> sw23
+  wire [511:0] link_16_43;  // sw16 -> pe43
+  wire [511:0] link_16_48;  // sw16 -> pe48
+  wire [511:0] link_16_49;  // sw16 -> pe49
+  wire [511:0] link_17_16;  // sw17 -> sw16
+  wire [511:0] link_17_18;  // sw17 -> sw18
+  wire [511:0] link_17_24;  // sw17 -> sw24
+  wire [511:0] link_17_44;  // sw17 -> pe44
+  wire [511:0] link_17_49;  // sw17 -> pe49
+  wire [511:0] link_17_50;  // sw17 -> pe50
+  wire [511:0] link_18_17;  // sw18 -> sw17
+  wire [511:0] link_18_19;  // sw18 -> sw19
+  wire [511:0] link_18_25;  // sw18 -> sw25
+  wire [511:0] link_18_45;  // sw18 -> pe45
+  wire [511:0] link_18_50;  // sw18 -> pe50
+  wire [511:0] link_18_51;  // sw18 -> pe51
+  wire [511:0] link_19_18;  // sw19 -> sw18
+  wire [511:0] link_19_20;  // sw19 -> sw20
+  wire [511:0] link_19_26;  // sw19 -> sw26
+  wire [511:0] link_19_46;  // sw19 -> pe46
+  wire [511:0] link_19_51;  // sw19 -> pe51
+  wire [511:0] link_19_52;  // sw19 -> pe52
+  wire [511:0] link_20_19;  // sw20 -> sw19
+  wire [511:0] link_20_27;  // sw20 -> sw27
+  wire [511:0] link_20_52;  // sw20 -> pe52
+  wire [511:0] link_21_22;  // sw21 -> sw22
+  wire [511:0] link_21_28;  // sw21 -> sw28
+  wire [511:0] link_21_47;  // sw21 -> pe47
+  wire [511:0] link_21_53;  // sw21 -> pe53
+  wire [511:0] link_22_21;  // sw22 -> sw21
+  wire [511:0] link_22_23;  // sw22 -> sw23
+  wire [511:0] link_22_29;  // sw22 -> sw29
+  wire [511:0] link_22_48;  // sw22 -> pe48
+  wire [511:0] link_22_53;  // sw22 -> pe53
+  wire [511:0] link_22_54;  // sw22 -> pe54
+  wire [511:0] link_23_22;  // sw23 -> sw22
+  wire [511:0] link_23_24;  // sw23 -> sw24
+  wire [511:0] link_23_30;  // sw23 -> sw30
+  wire [511:0] link_23_49;  // sw23 -> pe49
+  wire [511:0] link_23_54;  // sw23 -> pe54
+  wire [511:0] link_23_55;  // sw23 -> pe55
+  wire [511:0] link_24_23;  // sw24 -> sw23
+  wire [511:0] link_24_25;  // sw24 -> sw25
+  wire [511:0] link_24_31;  // sw24 -> sw31
+  wire [511:0] link_24_50;  // sw24 -> pe50
+  wire [511:0] link_24_55;  // sw24 -> pe55
+  wire [511:0] link_24_56;  // sw24 -> pe56
+  wire [511:0] link_25_24;  // sw25 -> sw24
+  wire [511:0] link_25_26;  // sw25 -> sw26
+  wire [511:0] link_25_32;  // sw25 -> sw32
+  wire [511:0] link_25_51;  // sw25 -> pe51
+  wire [511:0] link_25_56;  // sw25 -> pe56
+  wire [511:0] link_25_57;  // sw25 -> pe57
+  wire [511:0] link_26_25;  // sw26 -> sw25
+  wire [511:0] link_26_27;  // sw26 -> sw27
+  wire [511:0] link_26_33;  // sw26 -> sw33
+  wire [511:0] link_26_52;  // sw26 -> pe52
+  wire [511:0] link_26_57;  // sw26 -> pe57
+  wire [511:0] link_26_58;  // sw26 -> pe58
+  wire [511:0] link_27_26;  // sw27 -> sw26
+  wire [511:0] link_27_34;  // sw27 -> sw34
+  wire [511:0] link_27_58;  // sw27 -> pe58
+  wire [511:0] link_28_29;  // sw28 -> sw29
+  wire [511:0] link_28_53;  // sw28 -> pe53
+  wire [511:0] link_28_72;  // sw28 -> op72
+  wire [63:0] link_28_79;  // sw28 -> op79
+  wire [511:0] link_29_28;  // sw29 -> sw28
+  wire [511:0] link_29_30;  // sw29 -> sw30
+  wire [511:0] link_29_54;  // sw29 -> pe54
+  wire [255:0] link_29_73;  // sw29 -> op73
+  wire [511:0] link_30_29;  // sw30 -> sw29
+  wire [511:0] link_30_31;  // sw30 -> sw31
+  wire [511:0] link_30_55;  // sw30 -> pe55
+  wire [127:0] link_30_74;  // sw30 -> op74
+  wire [511:0] link_31_30;  // sw31 -> sw30
+  wire [511:0] link_31_32;  // sw31 -> sw32
+  wire [511:0] link_31_56;  // sw31 -> pe56
+  wire [127:0] link_31_75;  // sw31 -> op75
+  wire [511:0] link_32_31;  // sw32 -> sw31
+  wire [511:0] link_32_33;  // sw32 -> sw33
+  wire [511:0] link_32_57;  // sw32 -> pe57
+  wire [63:0] link_32_76;  // sw32 -> op76
+  wire [511:0] link_33_32;  // sw33 -> sw32
+  wire [511:0] link_33_34;  // sw33 -> sw34
+  wire [511:0] link_33_58;  // sw33 -> pe58
+  wire [63:0] link_33_77;  // sw33 -> op77
+  wire [511:0] link_34_33;  // sw34 -> sw33
+  wire [63:0] link_34_78;  // sw34 -> op78
+  wire [511:0] link_35_8;  // pe35 -> sw8
+  wire [511:0] link_36_9;  // pe36 -> sw9
+  wire [511:0] link_37_10;  // pe37 -> sw10
+  wire [511:0] link_38_11;  // pe38 -> sw11
+  wire [511:0] link_39_12;  // pe39 -> sw12
+  wire [511:0] link_40_13;  // pe40 -> sw13
+  wire [511:0] link_41_15;  // pe41 -> sw15
+  wire [511:0] link_42_16;  // pe42 -> sw16
+  wire [511:0] link_43_17;  // pe43 -> sw17
+  wire [511:0] link_44_18;  // pe44 -> sw18
+  wire [511:0] link_45_19;  // pe45 -> sw19
+  wire [511:0] link_46_20;  // pe46 -> sw20
+  wire [511:0] link_47_22;  // pe47 -> sw22
+  wire [511:0] link_48_23;  // pe48 -> sw23
+  wire [511:0] link_49_24;  // pe49 -> sw24
+  wire [511:0] link_50_25;  // pe50 -> sw25
+  wire [511:0] link_51_26;  // pe51 -> sw26
+  wire [511:0] link_52_27;  // pe52 -> sw27
+  wire [511:0] link_53_29;  // pe53 -> sw29
+  wire [511:0] link_54_30;  // pe54 -> sw30
+  wire [511:0] link_55_31;  // pe55 -> sw31
+  wire [511:0] link_56_32;  // pe56 -> sw32
+  wire [511:0] link_57_33;  // pe57 -> sw33
+  wire [511:0] link_58_34;  // pe58 -> sw34
+  wire [511:0] link_59_0;  // ip59 -> sw0
+  wire [255:0] link_60_1;  // ip60 -> sw1
+  wire [255:0] link_61_2;  // ip61 -> sw2
+  wire [127:0] link_62_3;  // ip62 -> sw3
+  wire [127:0] link_63_4;  // ip63 -> sw4
+  wire [127:0] link_64_5;  // ip64 -> sw5
+  wire [63:0] link_65_6;  // ip65 -> sw6
+  wire [63:0] link_66_0;  // ip66 -> sw0
+  wire [63:0] link_67_1;  // ip67 -> sw1
+  wire [63:0] link_68_2;  // ip68 -> sw2
+  wire [63:0] link_69_3;  // ip69 -> sw3
+  wire [31:0] link_70_4;  // ip70 -> sw4
+  wire [31:0] link_71_5;  // ip71 -> sw5
+  wire [63:0] link_72_80;  // op72 -> dma80
+  wire [63:0] link_72_81;  // op72 -> spad81
+  wire [63:0] link_72_82;  // op72 -> gen82
+  wire [63:0] link_72_83;  // op72 -> rec83
+  wire [63:0] link_72_84;  // op72 -> reg84
+  wire [63:0] link_73_80;  // op73 -> dma80
+  wire [63:0] link_73_81;  // op73 -> spad81
+  wire [63:0] link_73_82;  // op73 -> gen82
+  wire [63:0] link_73_83;  // op73 -> rec83
+  wire [63:0] link_73_84;  // op73 -> reg84
+  wire [63:0] link_74_80;  // op74 -> dma80
+  wire [63:0] link_74_81;  // op74 -> spad81
+  wire [63:0] link_74_82;  // op74 -> gen82
+  wire [63:0] link_74_83;  // op74 -> rec83
+  wire [63:0] link_74_84;  // op74 -> reg84
+  wire [63:0] link_75_80;  // op75 -> dma80
+  wire [63:0] link_75_81;  // op75 -> spad81
+  wire [63:0] link_75_82;  // op75 -> gen82
+  wire [63:0] link_75_83;  // op75 -> rec83
+  wire [63:0] link_75_84;  // op75 -> reg84
+  wire [63:0] link_76_80;  // op76 -> dma80
+  wire [63:0] link_76_81;  // op76 -> spad81
+  wire [63:0] link_76_82;  // op76 -> gen82
+  wire [63:0] link_76_83;  // op76 -> rec83
+  wire [63:0] link_76_84;  // op76 -> reg84
+  wire [63:0] link_77_80;  // op77 -> dma80
+  wire [63:0] link_77_81;  // op77 -> spad81
+  wire [63:0] link_77_82;  // op77 -> gen82
+  wire [63:0] link_77_83;  // op77 -> rec83
+  wire [63:0] link_77_84;  // op77 -> reg84
+  wire [63:0] link_78_80;  // op78 -> dma80
+  wire [63:0] link_78_81;  // op78 -> spad81
+  wire [63:0] link_78_82;  // op78 -> gen82
+  wire [63:0] link_78_83;  // op78 -> rec83
+  wire [63:0] link_78_84;  // op78 -> reg84
+  wire [63:0] link_79_80;  // op79 -> dma80
+  wire [63:0] link_79_81;  // op79 -> spad81
+  wire [63:0] link_79_82;  // op79 -> gen82
+  wire [63:0] link_79_83;  // op79 -> rec83
+  wire [63:0] link_79_84;  // op79 -> reg84
+  wire [63:0] link_80_59;  // dma80 -> ip59
+  wire [63:0] link_80_60;  // dma80 -> ip60
+  wire [63:0] link_80_61;  // dma80 -> ip61
+  wire [63:0] link_80_62;  // dma80 -> ip62
+  wire [63:0] link_80_63;  // dma80 -> ip63
+  wire [63:0] link_80_64;  // dma80 -> ip64
+  wire [63:0] link_80_65;  // dma80 -> ip65
+  wire [63:0] link_80_66;  // dma80 -> ip66
+  wire [63:0] link_80_67;  // dma80 -> ip67
+  wire [63:0] link_80_68;  // dma80 -> ip68
+  wire [63:0] link_80_69;  // dma80 -> ip69
+  wire [31:0] link_80_70;  // dma80 -> ip70
+  wire [31:0] link_80_71;  // dma80 -> ip71
+  wire [63:0] link_81_59;  // spad81 -> ip59
+  wire [63:0] link_81_60;  // spad81 -> ip60
+  wire [63:0] link_81_61;  // spad81 -> ip61
+  wire [63:0] link_81_62;  // spad81 -> ip62
+  wire [63:0] link_81_63;  // spad81 -> ip63
+  wire [63:0] link_81_64;  // spad81 -> ip64
+  wire [63:0] link_81_65;  // spad81 -> ip65
+  wire [63:0] link_81_66;  // spad81 -> ip66
+  wire [63:0] link_81_67;  // spad81 -> ip67
+  wire [63:0] link_81_68;  // spad81 -> ip68
+  wire [63:0] link_81_69;  // spad81 -> ip69
+  wire [31:0] link_81_70;  // spad81 -> ip70
+  wire [31:0] link_81_71;  // spad81 -> ip71
+  wire [63:0] link_82_59;  // gen82 -> ip59
+  wire [63:0] link_82_60;  // gen82 -> ip60
+  wire [63:0] link_82_61;  // gen82 -> ip61
+  wire [63:0] link_82_62;  // gen82 -> ip62
+  wire [63:0] link_82_63;  // gen82 -> ip63
+  wire [63:0] link_82_64;  // gen82 -> ip64
+  wire [63:0] link_82_65;  // gen82 -> ip65
+  wire [63:0] link_82_66;  // gen82 -> ip66
+  wire [63:0] link_82_67;  // gen82 -> ip67
+  wire [63:0] link_82_68;  // gen82 -> ip68
+  wire [63:0] link_82_69;  // gen82 -> ip69
+  wire [31:0] link_82_70;  // gen82 -> ip70
+  wire [31:0] link_82_71;  // gen82 -> ip71
+  wire [63:0] link_83_59;  // rec83 -> ip59
+  wire [63:0] link_83_60;  // rec83 -> ip60
+  wire [63:0] link_83_61;  // rec83 -> ip61
+  wire [63:0] link_83_62;  // rec83 -> ip62
+  wire [63:0] link_83_63;  // rec83 -> ip63
+  wire [63:0] link_83_64;  // rec83 -> ip64
+  wire [63:0] link_83_65;  // rec83 -> ip65
+  wire [63:0] link_83_66;  // rec83 -> ip66
+  wire [63:0] link_83_67;  // rec83 -> ip67
+  wire [63:0] link_83_68;  // rec83 -> ip68
+  wire [63:0] link_83_69;  // rec83 -> ip69
+  wire [31:0] link_83_70;  // rec83 -> ip70
+  wire [31:0] link_83_71;  // rec83 -> ip71
+  wire [63:0] link_84_59;  // reg84 -> ip59
+  wire [63:0] link_84_60;  // reg84 -> ip60
+  wire [63:0] link_84_61;  // reg84 -> ip61
+  wire [63:0] link_84_62;  // reg84 -> ip62
+  wire [63:0] link_84_63;  // reg84 -> ip63
+  wire [63:0] link_84_64;  // reg84 -> ip64
+  wire [63:0] link_84_65;  // reg84 -> ip65
+  wire [63:0] link_84_66;  // reg84 -> ip66
+  wire [63:0] link_84_67;  // reg84 -> ip67
+  wire [63:0] link_84_68;  // reg84 -> ip68
+  wire [63:0] link_84_69;  // reg84 -> ip69
+  wire [31:0] link_84_70;  // reg84 -> ip70
+  wire [31:0] link_84_71;  // reg84 -> ip71
+  sw_0 u_sw_0 (.clk(clk), .rst(rst) /* ... */);
+  sw_1 u_sw_1 (.clk(clk), .rst(rst) /* ... */);
+  sw_2 u_sw_2 (.clk(clk), .rst(rst) /* ... */);
+  sw_3 u_sw_3 (.clk(clk), .rst(rst) /* ... */);
+  sw_4 u_sw_4 (.clk(clk), .rst(rst) /* ... */);
+  sw_5 u_sw_5 (.clk(clk), .rst(rst) /* ... */);
+  sw_6 u_sw_6 (.clk(clk), .rst(rst) /* ... */);
+  sw_7 u_sw_7 (.clk(clk), .rst(rst) /* ... */);
+  sw_8 u_sw_8 (.clk(clk), .rst(rst) /* ... */);
+  sw_9 u_sw_9 (.clk(clk), .rst(rst) /* ... */);
+  sw_10 u_sw_10 (.clk(clk), .rst(rst) /* ... */);
+  sw_11 u_sw_11 (.clk(clk), .rst(rst) /* ... */);
+  sw_12 u_sw_12 (.clk(clk), .rst(rst) /* ... */);
+  sw_13 u_sw_13 (.clk(clk), .rst(rst) /* ... */);
+  sw_14 u_sw_14 (.clk(clk), .rst(rst) /* ... */);
+  sw_15 u_sw_15 (.clk(clk), .rst(rst) /* ... */);
+  sw_16 u_sw_16 (.clk(clk), .rst(rst) /* ... */);
+  sw_17 u_sw_17 (.clk(clk), .rst(rst) /* ... */);
+  sw_18 u_sw_18 (.clk(clk), .rst(rst) /* ... */);
+  sw_19 u_sw_19 (.clk(clk), .rst(rst) /* ... */);
+  sw_20 u_sw_20 (.clk(clk), .rst(rst) /* ... */);
+  sw_21 u_sw_21 (.clk(clk), .rst(rst) /* ... */);
+  sw_22 u_sw_22 (.clk(clk), .rst(rst) /* ... */);
+  sw_23 u_sw_23 (.clk(clk), .rst(rst) /* ... */);
+  sw_24 u_sw_24 (.clk(clk), .rst(rst) /* ... */);
+  sw_25 u_sw_25 (.clk(clk), .rst(rst) /* ... */);
+  sw_26 u_sw_26 (.clk(clk), .rst(rst) /* ... */);
+  sw_27 u_sw_27 (.clk(clk), .rst(rst) /* ... */);
+  sw_28 u_sw_28 (.clk(clk), .rst(rst) /* ... */);
+  sw_29 u_sw_29 (.clk(clk), .rst(rst) /* ... */);
+  sw_30 u_sw_30 (.clk(clk), .rst(rst) /* ... */);
+  sw_31 u_sw_31 (.clk(clk), .rst(rst) /* ... */);
+  sw_32 u_sw_32 (.clk(clk), .rst(rst) /* ... */);
+  sw_33 u_sw_33 (.clk(clk), .rst(rst) /* ... */);
+  sw_34 u_sw_34 (.clk(clk), .rst(rst) /* ... */);
+  pe_35 u_pe_35 (.clk(clk), .rst(rst) /* ... */);
+  pe_36 u_pe_36 (.clk(clk), .rst(rst) /* ... */);
+  pe_37 u_pe_37 (.clk(clk), .rst(rst) /* ... */);
+  pe_38 u_pe_38 (.clk(clk), .rst(rst) /* ... */);
+  pe_39 u_pe_39 (.clk(clk), .rst(rst) /* ... */);
+  pe_40 u_pe_40 (.clk(clk), .rst(rst) /* ... */);
+  pe_41 u_pe_41 (.clk(clk), .rst(rst) /* ... */);
+  pe_42 u_pe_42 (.clk(clk), .rst(rst) /* ... */);
+  pe_43 u_pe_43 (.clk(clk), .rst(rst) /* ... */);
+  pe_44 u_pe_44 (.clk(clk), .rst(rst) /* ... */);
+  pe_45 u_pe_45 (.clk(clk), .rst(rst) /* ... */);
+  pe_46 u_pe_46 (.clk(clk), .rst(rst) /* ... */);
+  pe_47 u_pe_47 (.clk(clk), .rst(rst) /* ... */);
+  pe_48 u_pe_48 (.clk(clk), .rst(rst) /* ... */);
+  pe_49 u_pe_49 (.clk(clk), .rst(rst) /* ... */);
+  pe_50 u_pe_50 (.clk(clk), .rst(rst) /* ... */);
+  pe_51 u_pe_51 (.clk(clk), .rst(rst) /* ... */);
+  pe_52 u_pe_52 (.clk(clk), .rst(rst) /* ... */);
+  pe_53 u_pe_53 (.clk(clk), .rst(rst) /* ... */);
+  pe_54 u_pe_54 (.clk(clk), .rst(rst) /* ... */);
+  pe_55 u_pe_55 (.clk(clk), .rst(rst) /* ... */);
+  pe_56 u_pe_56 (.clk(clk), .rst(rst) /* ... */);
+  pe_57 u_pe_57 (.clk(clk), .rst(rst) /* ... */);
+  pe_58 u_pe_58 (.clk(clk), .rst(rst) /* ... */);
+  ip_59 u_ip_59 (.clk(clk), .rst(rst) /* ... */);
+  ip_60 u_ip_60 (.clk(clk), .rst(rst) /* ... */);
+  ip_61 u_ip_61 (.clk(clk), .rst(rst) /* ... */);
+  ip_62 u_ip_62 (.clk(clk), .rst(rst) /* ... */);
+  ip_63 u_ip_63 (.clk(clk), .rst(rst) /* ... */);
+  ip_64 u_ip_64 (.clk(clk), .rst(rst) /* ... */);
+  ip_65 u_ip_65 (.clk(clk), .rst(rst) /* ... */);
+  ip_66 u_ip_66 (.clk(clk), .rst(rst) /* ... */);
+  ip_67 u_ip_67 (.clk(clk), .rst(rst) /* ... */);
+  ip_68 u_ip_68 (.clk(clk), .rst(rst) /* ... */);
+  ip_69 u_ip_69 (.clk(clk), .rst(rst) /* ... */);
+  ip_70 u_ip_70 (.clk(clk), .rst(rst) /* ... */);
+  ip_71 u_ip_71 (.clk(clk), .rst(rst) /* ... */);
+  op_72 u_op_72 (.clk(clk), .rst(rst) /* ... */);
+  op_73 u_op_73 (.clk(clk), .rst(rst) /* ... */);
+  op_74 u_op_74 (.clk(clk), .rst(rst) /* ... */);
+  op_75 u_op_75 (.clk(clk), .rst(rst) /* ... */);
+  op_76 u_op_76 (.clk(clk), .rst(rst) /* ... */);
+  op_77 u_op_77 (.clk(clk), .rst(rst) /* ... */);
+  op_78 u_op_78 (.clk(clk), .rst(rst) /* ... */);
+  op_79 u_op_79 (.clk(clk), .rst(rst) /* ... */);
+  dma_80 u_dma_80 (.clk(clk), .rst(rst) /* ... */);
+  spad_81 u_spad_81 (.clk(clk), .rst(rst) /* ... */);
+  gen_82 u_gen_82 (.clk(clk), .rst(rst) /* ... */);
+  rec_83 u_rec_83 (.clk(clk), .rst(rst) /* ... */);
+  reg_84 u_reg_84 (.clk(clk), .rst(rst) /* ... */);
+endmodule
+module overgen_system (
+  input  wire clk,
+  input  wire rst,
+  // AXI4 DRAM channel(s)
+  output wire [511:0] axi_mem
+);
+  // crossbar NoC: 4 tiles + L2 + peripherals
+  tilelink_xbar #(.ENDPOINTS(6), .WIDTH(256)) u_noc ();
+  inclusive_l2 #(.KIB(512), .BANKS(4)) u_l2 ();
+  overgen_tile_0 u_tile_0 (.clk(clk), .rst(rst) /* ... */);
+  rocket_core u_core_0 (.clk(clk), .rst(rst) /* ... */);
+  overgen_tile_0 u_tile_1 (.clk(clk), .rst(rst) /* ... */);
+  rocket_core u_core_1 (.clk(clk), .rst(rst) /* ... */);
+  overgen_tile_0 u_tile_2 (.clk(clk), .rst(rst) /* ... */);
+  rocket_core u_core_2 (.clk(clk), .rst(rst) /* ... */);
+  overgen_tile_0 u_tile_3 (.clk(clk), .rst(rst) /* ... */);
+  rocket_core u_core_3 (.clk(clk), .rst(rst) /* ... */);
+endmodule

@@ -1,0 +1,290 @@
+// ---- OverGen tile 0: 2 PEs, 6 switches ----
+// Processing element: caps = f32.abs, f32.add, f32.cmp, f32.div, f32.max, f32.min, f32.mul, f32.select, f32.sqrt, f32.sub, f64.abs, f64.add, f64.cmp, f64.div, f64.max, f64.min, f64.mul, f64.select, f64.sqrt, f64.sub, i16.abs, i16.add, i16.and, i16.cmp, i16.div, i16.max, i16.min, i16.mul, i16.or, i16.select, i16.shl, i16.shr, i16.sub, i16.xor, i32.abs, i32.add, i32.and, i32.cmp, i32.div, i32.max, i32.min, i32.mul, i32.or, i32.select, i32.shl, i32.shr, i32.sub, i32.xor, i64.abs, i64.add, i64.and, i64.cmp, i64.div, i64.max, i64.min, i64.mul, i64.or, i64.select, i64.shl, i64.shr, i64.sub, i64.xor, i8.abs, i8.add, i8.and, i8.cmp, i8.div, i8.max, i8.min, i8.mul, i8.or, i8.select, i8.shl, i8.shr, i8.sub, i8.xor
+// delay FIFOs: depth 8 per operand
+module pe_6 (
+  input  wire clk,
+  input  wire rst,
+  input  wire [63:0] operand0,
+  input  wire operand0_valid,
+  input  wire [63:0] operand1,
+  input  wire operand1_valid,
+  input  wire [63:0] operand2,
+  input  wire operand2_valid,
+  output wire [63:0] result,
+  output wire result_valid
+);
+  // Dedicated-dataflow datapath (configured instruction; fires when all
+  // operands are valid). Functional units: f32.abs, f32.add, f32.cmp, f32.div, f32.max, f32.min, f32.mul, f32.select, f32.sqrt, f32.sub, f64.abs, f64.add, f64.cmp, f64.div, f64.max, f64.min, f64.mul, f64.select, f64.sqrt, f64.sub, i16.abs, i16.add, i16.and, i16.cmp, i16.div, i16.max, i16.min, i16.mul, i16.or, i16.select, i16.shl, i16.shr, i16.sub, i16.xor, i32.abs, i32.add, i32.and, i32.cmp, i32.div, i32.max, i32.min, i32.mul, i32.or, i32.select, i32.shl, i32.shr, i32.sub, i32.xor, i64.abs, i64.add, i64.and, i64.cmp, i64.div, i64.max, i64.min, i64.mul, i64.or, i64.select, i64.shl, i64.shr, i64.sub, i64.xor, i8.abs, i8.add, i8.and, i8.cmp, i8.div, i8.max, i8.min, i8.mul, i8.or, i8.select, i8.shl, i8.shr, i8.sub, i8.xor.
+endmodule
+
+// Processing element: caps = f32.abs, f32.add, f32.cmp, f32.div, f32.max, f32.min, f32.mul, f32.select, f32.sqrt, f32.sub, f64.abs, f64.add, f64.cmp, f64.div, f64.max, f64.min, f64.mul, f64.select, f64.sqrt, f64.sub, i16.abs, i16.add, i16.and, i16.cmp, i16.div, i16.max, i16.min, i16.mul, i16.or, i16.select, i16.shl, i16.shr, i16.sub, i16.xor, i32.abs, i32.add, i32.and, i32.cmp, i32.div, i32.max, i32.min, i32.mul, i32.or, i32.select, i32.shl, i32.shr, i32.sub, i32.xor, i64.abs, i64.add, i64.and, i64.cmp, i64.div, i64.max, i64.min, i64.mul, i64.or, i64.select, i64.shl, i64.shr, i64.sub, i64.xor, i8.abs, i8.add, i8.and, i8.cmp, i8.div, i8.max, i8.min, i8.mul, i8.or, i8.select, i8.shl, i8.shr, i8.sub, i8.xor
+// delay FIFOs: depth 8 per operand
+module pe_7 (
+  input  wire clk,
+  input  wire rst,
+  input  wire [63:0] operand0,
+  input  wire operand0_valid,
+  input  wire [63:0] operand1,
+  input  wire operand1_valid,
+  input  wire [63:0] operand2,
+  input  wire operand2_valid,
+  output wire [63:0] result,
+  output wire result_valid
+);
+  // Dedicated-dataflow datapath (configured instruction; fires when all
+  // operands are valid). Functional units: f32.abs, f32.add, f32.cmp, f32.div, f32.max, f32.min, f32.mul, f32.select, f32.sqrt, f32.sub, f64.abs, f64.add, f64.cmp, f64.div, f64.max, f64.min, f64.mul, f64.select, f64.sqrt, f64.sub, i16.abs, i16.add, i16.and, i16.cmp, i16.div, i16.max, i16.min, i16.mul, i16.or, i16.select, i16.shl, i16.shr, i16.sub, i16.xor, i32.abs, i32.add, i32.and, i32.cmp, i32.div, i32.max, i32.min, i32.mul, i32.or, i32.select, i32.shl, i32.shr, i32.sub, i32.xor, i64.abs, i64.add, i64.and, i64.cmp, i64.div, i64.max, i64.min, i64.mul, i64.or, i64.select, i64.shl, i64.shr, i64.sub, i64.xor, i8.abs, i8.add, i8.and, i8.cmp, i8.div, i8.max, i8.min, i8.mul, i8.or, i8.select, i8.shl, i8.shr, i8.sub, i8.xor.
+endmodule
+
+// Circuit-switched operand router (2 in x 3 out)
+module sw_0 (
+  input  wire clk,
+  input  wire rst,
+  input  wire [127:0] in_bus,
+  input  wire [1:0] in_valid,
+  output wire [191:0] out_bus,
+  output wire [2:0] out_valid,
+  input  wire [5:0] route_config
+);
+  // Statically-configured crossbar: each output selects one input.
+endmodule
+
+// Circuit-switched operand router (2 in x 5 out)
+module sw_1 (
+  input  wire clk,
+  input  wire rst,
+  input  wire [127:0] in_bus,
+  input  wire [1:0] in_valid,
+  output wire [319:0] out_bus,
+  output wire [4:0] out_valid,
+  input  wire [9:0] route_config
+);
+  // Statically-configured crossbar: each output selects one input.
+endmodule
+
+// Circuit-switched operand router (1 in x 3 out)
+module sw_2 (
+  input  wire clk,
+  input  wire rst,
+  input  wire [63:0] in_bus,
+  input  wire [0:0] in_valid,
+  output wire [191:0] out_bus,
+  output wire [2:0] out_valid,
+  input  wire [2:0] route_config
+);
+  // Statically-configured crossbar: each output selects one input.
+endmodule
+
+// Circuit-switched operand router (2 in x 3 out)
+module sw_3 (
+  input  wire clk,
+  input  wire rst,
+  input  wire [127:0] in_bus,
+  input  wire [1:0] in_valid,
+  output wire [191:0] out_bus,
+  output wire [2:0] out_valid,
+  input  wire [5:0] route_config
+);
+  // Statically-configured crossbar: each output selects one input.
+endmodule
+
+// Circuit-switched operand router (4 in x 3 out)
+module sw_4 (
+  input  wire clk,
+  input  wire rst,
+  input  wire [255:0] in_bus,
+  input  wire [3:0] in_valid,
+  output wire [191:0] out_bus,
+  output wire [2:0] out_valid,
+  input  wire [11:0] route_config
+);
+  // Statically-configured crossbar: each output selects one input.
+endmodule
+
+// Circuit-switched operand router (3 in x 1 out)
+module sw_5 (
+  input  wire clk,
+  input  wire rst,
+  input  wire [191:0] in_bus,
+  input  wire [2:0] in_valid,
+  output wire [63:0] out_bus,
+  output wire [0:0] out_valid,
+  input  wire [2:0] route_config
+);
+  // Statically-configured crossbar: each output selects one input.
+endmodule
+
+// padding=True meta=True fifo_depth=4
+module ip_8 (  // vector input port, 8 B/cyc
+  input  wire clk,
+  input  wire rst,
+  input  wire [63:0] enq_data,
+  input  wire enq_valid,
+  output wire enq_ready,
+  output wire [63:0] deq_data,
+  output wire deq_valid,
+  input  wire deq_ready
+);
+endmodule
+
+
+module op_9 (  // vector output port, 8 B/cyc
+  input  wire clk,
+  input  wire rst,
+  input  wire [63:0] enq_data,
+  input  wire enq_valid,
+  output wire enq_ready,
+  output wire [63:0] deq_data,
+  output wire deq_valid,
+  input  wire deq_ready
+);
+endmodule
+
+// bandwidth 32 B/cyc, indirect=True, ROB 16 entries
+module dma_10 (
+  input  wire clk,
+  input  wire rst,
+  // stream-dispatcher command interface
+  input  wire [255:0] stream_entry,
+  input  wire stream_entry_valid,
+  output wire stream_done,
+  // memory-side data
+  output wire [511:0] rd_data,
+  output wire rd_valid,
+  input  wire [511:0] wr_data,
+  input  wire wr_valid
+);
+  // Stream Issue -> Stream Request -> Stream Generation pipeline with
+  // one-hot stream-table bypass (Fig. 11).
+endmodule
+
+// capacity 16384 B, rd/wr 32/32 B/cyc, indirect=False
+module spad_11 (
+  input  wire clk,
+  input  wire rst,
+  // stream-dispatcher command interface
+  input  wire [255:0] stream_entry,
+  input  wire stream_entry_valid,
+  output wire stream_done,
+  // memory-side data
+  output wire [511:0] rd_data,
+  output wire rd_valid,
+  input  wire [511:0] wr_data,
+  input  wire wr_valid
+);
+  // Stream Issue -> Stream Request -> Stream Generation pipeline with
+  // one-hot stream-table bypass (Fig. 11).
+endmodule
+
+
+module gen_12 (
+  input  wire clk,
+  input  wire rst,
+  // stream-dispatcher command interface
+  input  wire [255:0] stream_entry,
+  input  wire stream_entry_valid,
+  output wire stream_done,
+  // memory-side data
+  output wire [511:0] rd_data,
+  output wire rd_valid,
+  input  wire [511:0] wr_data,
+  input  wire wr_valid
+);
+  // Stream Issue -> Stream Request -> Stream Generation pipeline with
+  // one-hot stream-table bypass (Fig. 11).
+endmodule
+
+// buffer 4096 B
+module rec_13 (
+  input  wire clk,
+  input  wire rst,
+  // stream-dispatcher command interface
+  input  wire [255:0] stream_entry,
+  input  wire stream_entry_valid,
+  output wire stream_done,
+  // memory-side data
+  output wire [511:0] rd_data,
+  output wire rd_valid,
+  input  wire [511:0] wr_data,
+  input  wire wr_valid
+);
+  // Stream Issue -> Stream Request -> Stream Generation pipeline with
+  // one-hot stream-table bypass (Fig. 11).
+endmodule
+
+
+module reg_14 (
+  input  wire clk,
+  input  wire rst,
+  // stream-dispatcher command interface
+  input  wire [255:0] stream_entry,
+  input  wire stream_entry_valid,
+  output wire stream_done,
+  // memory-side data
+  output wire [511:0] rd_data,
+  output wire rd_valid,
+  input  wire [511:0] wr_data,
+  input  wire wr_valid
+);
+  // Stream Issue -> Stream Request -> Stream Generation pipeline with
+  // one-hot stream-table bypass (Fig. 11).
+endmodule
+
+module overgen_tile_0 (
+  input  wire clk,
+  input  wire rst,
+  // RoCC command interface from the control core
+  input  wire [63:0] rocc_cmd,
+  input  wire rocc_cmd_valid,
+  // TileLink memory interface
+  output wire [511:0] tl_a,
+  input  wire [511:0] tl_d
+);
+  // stream dispatcher
+  wire [255:0] dispatch_bus;
+  wire [63:0] link_0_1;  // sw0 -> sw1
+  wire [63:0] link_0_3;  // sw0 -> sw3
+  wire [63:0] link_0_6;  // sw0 -> pe6
+  wire [63:0] link_1_0;  // sw1 -> sw0
+  wire [63:0] link_1_2;  // sw1 -> sw2
+  wire [63:0] link_1_4;  // sw1 -> sw4
+  wire [63:0] link_1_6;  // sw1 -> pe6
+  wire [63:0] link_1_7;  // sw1 -> pe7
+  wire [63:0] link_2_1;  // sw2 -> sw1
+  wire [63:0] link_2_5;  // sw2 -> sw5
+  wire [63:0] link_2_7;  // sw2 -> pe7
+  wire [63:0] link_3_4;  // sw3 -> sw4
+  wire [63:0] link_3_6;  // sw3 -> pe6
+  wire [63:0] link_3_9;  // sw3 -> op9
+  wire [63:0] link_4_3;  // sw4 -> sw3
+  wire [63:0] link_4_5;  // sw4 -> sw5
+  wire [63:0] link_4_7;  // sw4 -> pe7
+  wire [63:0] link_5_4;  // sw5 -> sw4
+  wire [63:0] link_6_4;  // pe6 -> sw4
+  wire [63:0] link_7_5;  // pe7 -> sw5
+  wire [63:0] link_8_0;  // ip8 -> sw0
+  wire [63:0] link_9_10;  // op9 -> dma10
+  wire [63:0] link_9_11;  // op9 -> spad11
+  wire [63:0] link_9_12;  // op9 -> gen12
+  wire [63:0] link_9_13;  // op9 -> rec13
+  wire [63:0] link_9_14;  // op9 -> reg14
+  wire [63:0] link_10_8;  // dma10 -> ip8
+  wire [63:0] link_11_8;  // spad11 -> ip8
+  wire [63:0] link_12_8;  // gen12 -> ip8
+  wire [63:0] link_13_8;  // rec13 -> ip8
+  wire [63:0] link_14_8;  // reg14 -> ip8
+  sw_0 u_sw_0 (.clk(clk), .rst(rst) /* ... */);
+  sw_1 u_sw_1 (.clk(clk), .rst(rst) /* ... */);
+  sw_2 u_sw_2 (.clk(clk), .rst(rst) /* ... */);
+  sw_3 u_sw_3 (.clk(clk), .rst(rst) /* ... */);
+  sw_4 u_sw_4 (.clk(clk), .rst(rst) /* ... */);
+  sw_5 u_sw_5 (.clk(clk), .rst(rst) /* ... */);
+  pe_6 u_pe_6 (.clk(clk), .rst(rst) /* ... */);
+  pe_7 u_pe_7 (.clk(clk), .rst(rst) /* ... */);
+  ip_8 u_ip_8 (.clk(clk), .rst(rst) /* ... */);
+  op_9 u_op_9 (.clk(clk), .rst(rst) /* ... */);
+  dma_10 u_dma_10 (.clk(clk), .rst(rst) /* ... */);
+  spad_11 u_spad_11 (.clk(clk), .rst(rst) /* ... */);
+  gen_12 u_gen_12 (.clk(clk), .rst(rst) /* ... */);
+  rec_13 u_rec_13 (.clk(clk), .rst(rst) /* ... */);
+  reg_14 u_reg_14 (.clk(clk), .rst(rst) /* ... */);
+endmodule

@@ -29,12 +29,15 @@ class TestParser:
 
 
 class TestCommands:
-    def test_workloads_lists_19(self, capsys):
+    def test_workloads_lists_all_28(self, capsys):
         assert main(["workloads"]) == 0
         out = capsys.readouterr().out
-        assert len(out.strip().splitlines()) == 19
+        assert len(out.strip().splitlines()) == 28
         assert "cholesky" in out
         assert "indirect" in out  # crs/ellpack marked
+        # The scenario families show up alongside the Table II suites.
+        for name in ("threshold-fsm", "horner", "frontier-gather"):
+            assert name in out
 
     def test_generate_writes_valid_json(self, design_path):
         with open(design_path) as f:
@@ -83,10 +86,41 @@ class TestCommands:
         text = out_path.read_text()
         assert "module overgen_system" in text
 
+    def test_rtl_migen_backend(self, design_path, tmp_path, capsys):
+        out_path = tmp_path / "design.py"
+        rc = main(
+            ["rtl", design_path, "--backend", "migen", "-o", str(out_path)]
+        )
+        assert rc == 0
+        text = out_path.read_text()
+        assert "from migen import" in text
+        assert "class OvergenSystem(Module):" in text
+        assert "backend migen" in capsys.readouterr().out
+
+    def test_rtl_unknown_backend_is_error(self, design_path, capsys):
+        rc = main(["rtl", design_path, "--backend", "vhdl"])
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert "unknown RTL backend" in err
+
     def test_floorplan(self, design_path, capsys):
         assert main(["floorplan", design_path]) == 0
         out = capsys.readouterr().out
         assert "SLR0" in out and "MHz" in out
+
+    def test_floorplan_infeasible_is_nonzero(self, tmp_path, capsys):
+        import json
+
+        from repro.adg import general_overlay, sysadg_to_dict
+
+        doc = sysadg_to_dict(general_overlay(num_tiles=64))
+        path = tmp_path / "huge.json"
+        path.write_text(json.dumps(doc))
+        rc = main(["floorplan", str(path)])
+        captured = capsys.readouterr()
+        assert rc == 1
+        assert "INFEASIBLE" in captured.out
+        assert "exceeds XCVU9P capacity" in captured.err
 
     def test_generate_by_name_list(self, tmp_path):
         path = tmp_path / "two.json"

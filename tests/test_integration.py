@@ -80,6 +80,46 @@ class TestDseToRtl:
         assert len(plan.placements) == result.sysadg.params.num_tiles
 
 
+class TestNewFamiliesEndToEnd:
+    """The fsm/tdm/irregular scenario families run the whole pipeline:
+    schedule -> simulate -> RTL (both backends) -> floorplan."""
+
+    FAMILIES = ("fsm", "tdm", "irregular")
+
+    @pytest.fixture(scope="class")
+    def overlay(self):
+        return general_overlay()
+
+    @pytest.mark.parametrize(
+        "name",
+        [w.name for f in FAMILIES for w in get_suite(f)],
+    )
+    def test_schedule_and_simulate(self, overlay, name):
+        variants = generate_variants(get_workload(name))
+        schedule = schedule_workload(variants, overlay.adg, overlay.params)
+        assert schedule is not None, name
+        result = simulate_schedule(schedule, overlay)
+        assert result.cycles > 0
+        assert result.ipc > 0
+
+    @pytest.mark.parametrize("family", FAMILIES)
+    def test_family_seed_overlay_emits_and_floorplans(self, family):
+        from repro.adg import SysADG, SystemParams, seed_for_workloads
+        from repro.rtl import get_backend
+
+        sysadg = SysADG(
+            adg=seed_for_workloads(get_suite(family)),
+            params=SystemParams(num_tiles=2),
+            name=f"{family}-seed",
+        )
+        for backend_name in ("verilog", "migen"):
+            text = get_backend(backend_name).emit_system(sysadg)
+            assert len(text.splitlines()) > 50, backend_name
+        plan = floorplan(sysadg)
+        assert plan.feasible
+        assert len(plan.placements) == 2
+
+
 class TestCustomWorkloadPath:
     """The bring-your-own-kernel path used by examples/custom_workload.py."""
 

@@ -6,6 +6,7 @@ from repro.adg import general_overlay, mesh_adg, caps_for_dtype
 from repro.ir import I64, Op
 from repro.rtl import (
     NUM_SLRS,
+    FloorplanError,
     emit_system,
     emit_tile,
     estimated_frequency,
@@ -91,3 +92,60 @@ class TestFloorplan:
     def test_ascii_art_renders(self, overlay):
         art = floorplan(overlay).ascii_art()
         assert "SLR0" in art and "DRAM controller" in art
+
+
+class TestRtlStatsWireCount:
+    """Regression: port declarations must not inflate the wire count."""
+
+    def test_counts_only_wire_declarations(self, overlay):
+        rtl = emit_tile(overlay.adg)
+        declared = sum(
+            1 for line in rtl.splitlines()
+            if line.lstrip().startswith("wire")
+        )
+        stats = rtl_stats(rtl)
+        assert stats["wires"] == declared
+        # Every module has "input  wire"/"output wire" port lines; the old
+        # substring count swept those in too.
+        port_wires = sum(
+            1 for line in rtl.splitlines()
+            if line.lstrip().startswith(("input", "output"))
+        )
+        assert port_wires > 0
+        assert stats["wires"] < declared + port_wires
+
+    def test_small_mesh_wire_total(self):
+        adg = mesh_adg(1, 1, caps=caps_for_dtype(I64, (Op.ADD,)))
+        rtl = emit_tile(adg)
+        # One dispatch_bus wire plus one wire per ADG link, exactly.
+        assert rtl_stats(rtl)["wires"] == len(adg.links()) + 1
+
+
+class TestFloorplanInfeasible:
+    """Regression: oversize overlays are flagged, not silently clamped."""
+
+    @pytest.fixture(scope="class")
+    def huge(self):
+        return general_overlay(num_tiles=64)
+
+    def test_feasible_flag(self, overlay, huge):
+        assert floorplan(overlay).feasible is True
+        assert floorplan(huge).feasible is False
+
+    def test_strict_raises(self, huge):
+        with pytest.raises(FloorplanError, match="XCVU9P"):
+            floorplan(huge, strict=True)
+
+    def test_overflow_counts_against_top_die(self, huge):
+        plan = floorplan(huge)
+        # Demand beyond the device lands on SLR2 rather than vanishing.
+        assert plan.slr_utilization[NUM_SLRS - 1] > 1.0
+
+    def test_positions_stay_normalized(self, overlay, huge):
+        for sysadg in (overlay, huge):
+            for p in floorplan(sysadg).placements:
+                assert 0.0 <= p.x < 1.0
+                assert 0.0 <= p.y < NUM_SLRS
+
+    def test_infeasible_marked_in_ascii_art(self, huge):
+        assert "INFEASIBLE" in floorplan(huge).ascii_art()

@@ -74,6 +74,84 @@ class TestGenerators:
             case.adg().validate()
 
 
+class TestFamilyGenerators:
+    """Family-aware fuzzing: fsm / tdm / irregular program shapes."""
+
+    def test_every_family_builds_and_validates(self):
+        from repro.validate import PROGRAM_FAMILIES
+
+        for family in PROGRAM_FAMILIES:
+            rng = random.Random(17)
+            for _ in range(10):
+                program = random_program(rng, family=family)
+                program.build()  # Workload.validate() inside
+
+    def test_unknown_family_rejected(self):
+        from repro.validate import GeneratorError
+
+        with pytest.raises(GeneratorError):
+            random_program(random.Random(0), family="quantum")
+
+    def test_mixed_draw_covers_all_families(self):
+        # Unconstrained generation must eventually draw each family.
+        from repro.validate import PROGRAM_FAMILIES
+
+        seen = set()
+        for i in range(120):
+            rng = random.Random(i)
+            program = random_program(rng)
+            if program.statement.predicate is not None:
+                seen.add("fsm")
+            if program.variable_trips:
+                seen.add("irregular")
+            if len(program.statement.terms) >= 4:
+                seen.add("tdm")
+            if (
+                program.statement.predicate is None
+                and not program.variable_trips
+            ):
+                seen.add("affine")
+        assert seen >= set(PROGRAM_FAMILIES)
+
+    def test_fsm_programs_carry_predicates(self):
+        rng = random.Random(23)
+        for _ in range(10):
+            program = random_program(rng, family="fsm")
+            assert program.statement.predicate is not None
+            workload = program.build()
+            assert "select" in " ".join(
+                str(s.expr) for s in workload.statements
+            )
+
+    def test_irregular_programs_have_variable_trips(self):
+        rng = random.Random(29)
+        for _ in range(10):
+            program = random_program(rng, family="irregular")
+            assert program.variable_trips
+            workload = program.build()
+            assert workload.has_variable_trip
+
+    def test_family_cases_round_trip_through_json(self):
+        import json
+
+        from repro.validate import PROGRAM_FAMILIES
+
+        for family in PROGRAM_FAMILIES:
+            rng = random.Random(31)
+            program = random_program(rng, family=family)
+            doc = json.loads(json.dumps(program.to_dict()))
+            assert ProgramSpec.from_dict(doc) == program
+
+    def test_affine_serialization_unchanged(self):
+        # Backcompat: affine specs must not grow new keys, so corpus
+        # fingerprints from before the family extension stay stable.
+        rng = random.Random(37)
+        for _ in range(10):
+            doc = random_program(rng, family="affine").to_dict()
+            assert "predicate" not in doc["statement"]
+            assert "variable_trips" not in doc
+
+
 class TestInvariants:
     def test_clean_on_general_overlay(self):
         from repro.adg import general_overlay
@@ -196,6 +274,40 @@ class TestShrinker:
         with pytest.raises(ValueError):
             shrink(case, lambda _: None)
 
+    def test_drop_family_features_strips_markers(self):
+        from repro.validate.shrinker import _drop_family_features
+
+        rng = random.Random(41)
+        fsm = random_program(rng, family="fsm")
+        candidates = list(_drop_family_features(fsm))
+        assert any(c.statement.predicate is None for c in candidates)
+        irregular = random_program(rng, family="irregular")
+        candidates = list(_drop_family_features(irregular))
+        assert any(not c.variable_trips for c in candidates)
+        # Stripped programs still build.
+        for c in candidates:
+            c.build()
+
+    def test_shrunk_family_case_still_builds(self):
+        # A family case whose failure key ignores the family markers
+        # shrinks to an affine core.
+        rng = random.Random(43)
+        program = random_program(rng, family="fsm")
+        base = random_case("0:0")
+        case = FuzzCase(
+            program=program,
+            adg_doc=base.adg_doc,
+            params=base.params,
+            origin="test",
+        )
+
+        def key(candidate):
+            return "always"  # any reduction is acceptable
+
+        result = shrink(case, key)
+        assert result.case.program.statement.predicate is None
+        result.case.program.build()
+
 
 class TestCorpus:
     def test_add_dedups_and_replays(self, tmp_path):
@@ -307,7 +419,8 @@ class TestFuzzRun:
     def test_validate_run_clean_without_corpus(self):
         report = validate_run()
         assert report.ok
-        assert report.workloads_checked == 19
+        # All six suites: the 19 Table II workloads + 9 scenario-family.
+        assert report.workloads_checked == 28
 
     def test_class_stats_quarantine_nonfinite_errors(self):
         from repro.validate.runner import ClassStats

@@ -1,14 +1,22 @@
-"""Tests for the 19 Table II workloads."""
+"""Tests for the 19 Table II workloads and the new scenario families."""
 
 import pytest
 
-from repro.ir import Op
+from repro.ir import Op, Select
 from repro.workloads import (
+    PAPER_SUITE_NAMES,
     SUITE_NAMES,
     all_workloads,
     get_suite,
     get_workload,
 )
+
+#: Scenario families beyond the paper's Table II.
+NEW_FAMILIES = {
+    "fsm": ("threshold-fsm", "debounce", "edge-count"),
+    "tdm": ("horner", "biquad-cascade", "mac-bank"),
+    "irregular": ("ragged-rows", "hash-probe", "frontier-gather"),
+}
 
 #: Table II of the paper: workload -> (dtype name, suite).
 TABLE2 = {
@@ -35,25 +43,40 @@ TABLE2 = {
 
 
 class TestRegistry:
-    def test_all_19_workloads_present(self):
+    def test_all_28_workloads_present(self):
         names = [w.name for w in all_workloads()]
-        assert len(names) == 19
-        assert set(names) == set(TABLE2)
+        assert len(names) == 28
+        expected = set(TABLE2)
+        for family_names in NEW_FAMILIES.values():
+            expected |= set(family_names)
+        assert set(names) == expected
+
+    def test_paper_suites_stay_table2(self):
+        # The harness pins its figures/tables to the paper suites; adding
+        # scenario families must never change them.
+        assert PAPER_SUITE_NAMES == ("dsp", "machsuite", "vision")
+        paper = [w.name for s in PAPER_SUITE_NAMES for w in get_suite(s)]
+        assert len(paper) == 19
+        assert set(paper) == set(TABLE2)
 
     def test_suite_names(self):
-        assert SUITE_NAMES == ("dsp", "machsuite", "vision")
+        assert SUITE_NAMES == (
+            "dsp", "machsuite", "vision", "fsm", "tdm", "irregular"
+        )
 
-    def test_suite_sizes_match_paper(self):
+    def test_suite_sizes(self):
         assert len(get_suite("dsp")) == 5
         assert len(get_suite("machsuite")) == 5
         assert len(get_suite("vision")) == 9
+        for family in NEW_FAMILIES:
+            assert len(get_suite(family)) == 3
 
     def test_unknown_suite(self):
         with pytest.raises(KeyError):
             get_suite("audio")
 
-    def test_unknown_workload(self):
-        with pytest.raises(KeyError):
+    def test_unknown_workload_lists_known(self):
+        with pytest.raises(KeyError, match="unknown workload"):
             get_workload("quicksort")
 
     def test_factories_return_fresh_instances(self):
@@ -61,6 +84,52 @@ class TestRegistry:
         b = get_workload("fir")
         assert a is not b
         assert a.name == b.name
+
+    def test_index_built_once_not_per_lookup(self):
+        # Regression: get_workload used to instantiate every workload on
+        # every call; the cached index pays one build pass, then only the
+        # requested factory runs per lookup.
+        import repro.workloads as wl
+
+        calls = []
+        original = wl.SUITES["dsp"][2]  # fir
+
+        def counting_fir():
+            calls.append(1)
+            return original()
+
+        patched = list(wl.SUITES["dsp"])
+        patched[2] = counting_fir
+        wl.SUITES["dsp"] = tuple(patched)
+        try:
+            wl._WORKLOAD_INDEX.clear()
+            get_workload("gemm")  # build pass: each factory runs once
+            assert calls == [1]
+            get_workload("gemm")
+            get_workload("mm")  # further lookups reuse the index
+            assert calls == [1]
+            get_workload("fir")  # only now does fir's factory run again
+            assert calls == [1, 1]
+        finally:
+            patched[2] = original
+            wl.SUITES["dsp"] = tuple(patched)
+            wl._WORKLOAD_INDEX.clear()
+
+    def test_duplicate_workload_name_rejected(self):
+        import repro.workloads as wl
+        from repro.workloads.dsp import fir
+
+        def impostor():
+            return fir()  # same workload name, different factory
+
+        wl.SUITES["dup-test"] = (impostor,)
+        try:
+            wl._WORKLOAD_INDEX.clear()
+            with pytest.raises(ValueError, match="duplicate workload"):
+                get_workload("fir")
+        finally:
+            del wl.SUITES["dup-test"]
+            wl._WORKLOAD_INDEX.clear()
 
 
 @pytest.mark.parametrize("name", sorted(TABLE2))
@@ -142,3 +211,74 @@ class TestWorkloadCharacter:
     def test_derivative_uses_halo_frame(self):
         w = get_workload("derivative")
         assert w.array("src").size == 130 * 130 * 4
+
+
+@pytest.mark.parametrize(
+    "name", [n for family in NEW_FAMILIES.values() for n in family]
+)
+class TestNewFamilyWorkloads:
+    def test_validates(self, name):
+        get_workload(name).validate()
+
+    def test_suite_assignment(self, name):
+        w = get_workload(name)
+        assert name in NEW_FAMILIES[w.suite]
+
+    def test_has_work(self, name):
+        w = get_workload(name)
+        assert w.trip_product > 0
+        assert w.memory_op_count() >= 1
+
+
+class TestNewFamilyCharacter:
+    """The three scenario families carry their defining traits."""
+
+    def test_fsm_workloads_are_control_dominated(self):
+        # Every fsm kernel predicates its datapath with Select.
+        import dataclasses
+
+        from repro.ir.expr import Expr
+
+        def has_select(expr):
+            if isinstance(expr, Select):
+                return True
+            return any(
+                has_select(getattr(expr, f.name))
+                for f in dataclasses.fields(expr)
+                if isinstance(getattr(expr, f.name), Expr)
+            )
+
+        for w in get_suite("fsm"):
+            assert any(
+                has_select(s.expr) for s in w.statements
+            ), w.name
+
+    def test_irregular_workloads_have_variable_trips(self):
+        for w in get_suite("irregular"):
+            assert w.has_variable_trip, w.name
+
+    def test_indirect_gather_in_irregular(self):
+        from repro.ir import IndirectIndex
+
+        for name in ("hash-probe", "frontier-gather"):
+            w = get_workload(name)
+            assert any(
+                isinstance(idx, IndirectIndex)
+                for _, idx, _ in w.all_accesses()
+            ), name
+
+    def test_tdm_workloads_time_share_multipliers(self):
+        # Time-multiplexed DSP kernels: either a long static multiply
+        # chain (horner, biquad-cascade) or one multiplier reused across
+        # a reduction loop (mac-bank).
+        for w in get_suite("tdm"):
+            counts = w.op_counts()
+            assert counts.get(Op.MUL, 0) >= 1, w.name
+            assert counts[Op.MUL] >= 4 or any(
+                s.is_reduction for s in w.statements
+            ), w.name
+
+    def test_horner_chain_depth(self):
+        counts = get_workload("horner").op_counts()
+        assert counts[Op.MUL] == 8
+        assert counts[Op.ADD] == 8
